@@ -1,0 +1,83 @@
+"""Section 6.3 ablation: epoch scans reading stale dirty bits.
+
+The paper turned off the TLB flush before the recency scan and saw
+throughput drop by more than half at 2-3 GB budgets, because the stale
+bits invert the least-recently-updated ranking: hot pages stay resident
+in the TLB (their re-writes never re-mark the page table) and so look
+cold, becoming flush victims that immediately re-fault.
+
+This reproduction demonstrates the same mechanism and the same trend —
+the penalty grows as the budget shrinks, driven by extra hot-page
+evictions and re-faults.  The *magnitude* at simulation scale is a
+single-digit percentage rather than >2x: the number of perpetually-hot
+pages that thrash per epoch scales with the dataset, and the scaled-down
+heap has tens of such pages where the authors' 17.5 GB heap has
+thousands.  The mechanism itself is unit-tested in
+``tests/mem/test_mmu.py::TestWriteAccess::test_write_after_scan_redirties_only_with_flush``.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import run_workload
+from repro.workloads.ycsb import YCSB_A
+from conftest import bench_scale
+
+BUDGET_GBS = (1, 2, 3)
+
+
+def run_pair(budget_gb, scale):
+    fraction = budget_gb / 17.5
+    fresh = run_workload(YCSB_A, scale, fraction, flush_tlb_on_scan=True)
+    stale = run_workload(YCSB_A, scale, fraction, flush_tlb_on_scan=False)
+    return {
+        "budget_gb": budget_gb,
+        "fresh_kops": round(fresh.throughput_kops, 2),
+        "stale_kops": round(stale.throughput_kops, 2),
+        "penalty_pct": round(
+            (fresh.throughput_kops - stale.throughput_kops)
+            / fresh.throughput_kops
+            * 100,
+            2,
+        ),
+        "fresh_faults": fresh.viyojit_stats["write_faults"],
+        "stale_faults": stale.viyojit_stats["write_faults"],
+    }
+
+
+@pytest.fixture(scope="module")
+def rows():
+    scale = bench_scale(records=3000, ops=9000)
+    return [run_pair(gb, scale) for gb in BUDGET_GBS]
+
+
+def test_ablation_stale_dirty_bits(benchmark, rows):
+    benchmark.pedantic(
+        lambda: run_pair(2, bench_scale(records=800, ops=2000)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Section 6.3 ablation: fresh vs stale dirty bits (YCSB-A)",
+        )
+    )
+
+
+def test_stale_bits_always_hurt(rows):
+    for row in rows:
+        assert row["stale_kops"] < row["fresh_kops"], row
+
+
+def test_penalty_grows_as_budget_shrinks(rows):
+    """The paper's regime: the damage concentrates at low provisioning."""
+    penalties = [row["penalty_pct"] for row in rows]  # ordered 1, 2, 3 GB
+    assert penalties[0] > penalties[-1]
+
+
+def test_mechanism_is_hot_page_thrash(rows):
+    """Stale recency info evicts hot pages, which re-fault."""
+    for row in rows:
+        assert row["stale_faults"] > row["fresh_faults"], row

@@ -1,0 +1,62 @@
+"""Section 2.2: the battery-sizing arithmetic that motivates Viyojit.
+
+Reproduces the worked example: a 4 TB / 1RU server flushing at 4 GB/s at
+~300 W needs ~300 kJ of backup energy — about 10x a smartphone battery's
+volume before derating, and >25x after the datacenter multipliers (50%
+depth of discharge, ~30% less dense high-power cells).
+"""
+
+import pytest
+
+from repro.bench.experiments import battery_sizing_rows
+from repro.bench.reporting import format_table
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return battery_sizing_rows()
+
+
+def test_battery_sizing_worked_example(benchmark, rows):
+    benchmark.pedantic(battery_sizing_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Section 2.2: full-backup battery sizing (4 TB)"))
+    values = {row["quantity"]: row["value"] for row in rows}
+    assert values["energy for full backup (kJ)"] == pytest.approx(300, rel=0.15)
+    assert values["smartphone-battery volumes (no derating)"] == pytest.approx(
+        11, rel=0.25
+    )
+    assert values["smartphone-battery volumes (DoD 50% + 30% denser penalty)"] > 25
+
+
+def test_viyojit_battery_shrinks_linearly_with_budget():
+    """The decoupling payoff in joules: battery ∝ dirty budget."""
+    model = PowerModel()
+    nvdram = 4 * 1024**4
+    rows = []
+    for fraction in (1.0, 0.46, 0.23, 0.11):
+        battery = model.battery_for_dirty_bytes(int(nvdram * fraction))
+        rows.append(
+            {
+                "budget_fraction": fraction,
+                "nominal_kj": round(battery.nominal_joules / 1e3, 1),
+                "smartphone_volumes": round(battery.smartphone_equivalents(), 1),
+            }
+        )
+    print()
+    print(format_table(rows, title="Battery vs dirty budget (4 TB NV-DRAM)"))
+    full = rows[0]["nominal_kj"]
+    eleven = rows[-1]["nominal_kj"]
+    assert eleven == pytest.approx(full * 0.11, rel=0.01)
+
+
+def test_battery_density_gap_worsens_without_viyojit():
+    """Motivation sanity: a full-backup battery for a 2020-era server is
+    physically enormous next to the 1990 baseline."""
+    model = PowerModel()
+    battery_2015 = model.battery_for_dirty_bytes(4 * 1024**4)
+    assert battery_2015.smartphone_equivalents() > 25
+    phone = Battery(nominal_joules=26_640, depth_of_discharge=1.0, density_derate=1.0)
+    assert phone.smartphone_equivalents() == pytest.approx(1.0)

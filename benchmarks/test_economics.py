@@ -1,0 +1,71 @@
+"""Section 2.2's fleet-economics argument, quantified.
+
+Per-server battery cost ~$250 for a full 4 TB backup ("several million
+dollars increase in capital expenditure per data center"), against what a
+Viyojit deployment provisions at 11/23/46% budgets — plus the section 8
+service-life schedule: health fade per year and the retuned dirty budget
+that keeps durability intact without over-provisioning.
+"""
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.power.aging import AgingModel, budget_trajectory
+from repro.power.economics import BatteryCostModel, FleetSpec, fleet_capex_rows
+from repro.power.power_model import PowerModel
+
+
+@pytest.fixture(scope="module")
+def capex_rows():
+    return fleet_capex_rows(FleetSpec(), PowerModel(), BatteryCostModel())
+
+
+def test_fleet_capex(benchmark, capex_rows):
+    benchmark.pedantic(
+        lambda: fleet_capex_rows(FleetSpec(), PowerModel(), BatteryCostModel()),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            capex_rows,
+            title="Section 2.2: fleet battery capex "
+            "(50,000 servers x 4 TB NV-DRAM)",
+        )
+    )
+    full = next(r for r in capex_rows if r["budget_fraction"] == 1.0)
+    assert full["per_server_usd"] > 250           # the paper's anchor
+    assert full["fleet_usd_millions"] > 5          # "several million dollars"
+
+
+def test_viyojit_capex_saving(capex_rows):
+    eleven = next(r for r in capex_rows if r["budget_fraction"] == 0.11)
+    full = next(r for r in capex_rows if r["budget_fraction"] == 1.0)
+    assert eleven["fleet_usd_millions"] < full["fleet_usd_millions"] / 2
+
+
+def test_aging_budget_schedule(benchmark):
+    model = PowerModel()
+    battery = model.battery_for_dirty_bytes(int(4 * 1024**4 * 0.11))
+    rows = benchmark.pedantic(
+        lambda: budget_trajectory(
+            battery, model, AgingModel(), years=4, page_size=4096
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for row in rows:
+        row["budget_tb"] = round(row["budget_pages"] * 4096 / 1024**4, 3)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["year", "health_pct", "budget_tb"],
+            title="Section 8: service-life budget schedule (11% initial budget)",
+        )
+    )
+    budgets = [row["budget_pages"] for row in rows]
+    assert budgets == sorted(budgets, reverse=True)
+    # End-of-window health stays near the standard 80% EoL threshold.
+    assert 75 <= rows[-1]["health_pct"] <= 90

@@ -1,0 +1,28 @@
+"""Fig 1: DRAM growth out-pacing lithium growth, 1990-2020.
+
+Regenerates the two relative-growth series the paper plots on a log axis
+and checks their anchors: lithium ~3.3x over 25 years, DRAM >4 orders of
+magnitude, gap monotonically widening.
+"""
+
+from repro.bench.experiments import fig1_table
+from repro.bench.reporting import format_table
+
+
+def test_fig1_dram_vs_lithium_growth(benchmark):
+    rows = benchmark.pedantic(fig1_table, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            columns=["year", "dram_growth", "lithium_growth", "gap"],
+            title="Fig 1: relative growth since 1990 (DRAM GB/RU vs Li-ion J/volume)",
+        )
+    )
+    by_year = {row["year"]: row for row in rows}
+    # Paper anchors.
+    assert by_year[2015]["lithium_growth"] == 3.3
+    assert by_year[2015]["dram_growth"] > 5e4
+    # The gap widens every sample — the motivation for decoupling.
+    gaps = [row["gap"] for row in rows]
+    assert gaps == sorted(gaps)

@@ -1,0 +1,66 @@
+"""Fig 2: worst-interval write fraction per volume (4 datacenter apps).
+
+Regenerates the paper's per-volume bars for one-minute / ten-minute /
+one-hour intervals over the synthetic traces and checks the published
+envelope: for the majority of volumes, less than 15% of the volume is
+written within an hour; Cosmos is the outlier application with worst
+hours up to ~80%.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig2_rows
+from repro.bench.reporting import format_table
+
+VOLUME_SCALE = 0.25  # keep trace generation to a few seconds
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig2_rows(volume_scale=VOLUME_SCALE, seed=7)
+
+
+def test_fig2_worst_interval_write_fractions(benchmark, rows):
+    benchmark.pedantic(
+        lambda: fig2_rows(applications=["search_index"], volume_scale=VOLUME_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 2: worst-interval data written (% of volume size)",
+        )
+    )
+    majority = [row for row in rows if row["one_hour_pct"] < 15.0]
+    assert len(majority) / len(rows) > 0.5, "majority of volumes under 15%/hour"
+
+
+def test_fig2_interval_lengths_nest(rows):
+    """Longer intervals can only write as much or more."""
+    for row in rows:
+        assert row["one_minute_pct"] <= row["ten_minutes_pct"] + 1e-9
+        assert row["ten_minutes_pct"] <= row["one_hour_pct"] + 1e-9
+
+
+def test_fig2_cosmos_is_the_heavy_application(rows):
+    cosmos_max = max(r["one_hour_pct"] for r in rows if r["application"] == "cosmos")
+    azure_max = max(
+        r["one_hour_pct"] for r in rows if r["application"] == "azure_blob"
+    )
+    search_max = max(
+        r["one_hour_pct"] for r in rows if r["application"] == "search_index"
+    )
+    assert cosmos_max > 40.0          # paper: up to ~80%
+    assert azure_max < 25.0           # paper: up to ~14%
+    assert search_max < 25.0          # paper: up to ~16%
+
+
+def test_fig2_bursts_inflate_short_intervals(rows):
+    """One-minute worst intervals exceed 1/60th of one-hour worst
+    intervals — the traces are bursty, not uniform."""
+    bursty = [
+        row for row in rows if row["one_minute_pct"] > row["one_hour_pct"] / 60 * 2
+    ]
+    assert len(bursty) > len(rows) / 2

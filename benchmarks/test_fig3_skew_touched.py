@@ -1,0 +1,67 @@
+"""Fig 3: pages (% of pages *touched*) covering 90/95/99% of writes.
+
+Regenerates the per-volume skew bars and checks the paper's four-category
+classification on its flagship examples:
+
+* Cosmos B/C (category 2): low write fraction, strongly skewed — roughly
+  30% of touched pages cover 99% of writes.
+* Cosmos F (category 3): high write fraction, strongly skewed — ~10% of
+  pages cover 99% of writes.
+* Cosmos E (category 4): high write fraction, mostly unique pages — the
+  99% bar stays high.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig3_rows
+from repro.bench.reporting import format_table
+
+VOLUME_SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig3_rows(volume_scale=VOLUME_SCALE, seed=7)
+
+
+def test_fig3_skew_vs_touched_pages(benchmark, rows):
+    benchmark.pedantic(
+        lambda: fig3_rows(applications=["page_rank"], volume_scale=VOLUME_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 3: pages needed for write percentiles (% of touched pages)",
+        )
+    )
+    for row in rows:
+        assert 0 <= row["p90_pct"] <= row["p95_pct"] <= row["p99_pct"] <= 100.0
+
+
+def test_fig3_cosmos_category2_volumes(rows):
+    for volume in ("B", "C"):
+        row = next(
+            r for r in rows if r["application"] == "cosmos" and r["volume"] == volume
+        )
+        assert row["p99_pct"] < 45.0, f"cosmos {volume} should be strongly skewed"
+
+
+def test_fig3_cosmos_category3_volume_f(rows):
+    row = next(r for r in rows if r["application"] == "cosmos" and r["volume"] == "F")
+    assert row["p99_pct"] < 20.0  # ~10% in the paper
+
+
+def test_fig3_cosmos_category4_volume_e(rows):
+    row = next(r for r in rows if r["application"] == "cosmos" and r["volume"] == "E")
+    assert row["p99_pct"] > 60.0  # unique writes: no skew to exploit
+
+
+def test_fig3_unique_write_volumes_show_no_skew(rows):
+    """Category 1: low-write volumes writing mostly unique pages."""
+    azure_a = next(
+        r for r in rows if r["application"] == "azure_blob" and r["volume"] == "A"
+    )
+    assert azure_a["p99_pct"] > azure_a["p90_pct"] * 1.05

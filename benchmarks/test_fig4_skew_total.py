@@ -1,0 +1,57 @@
+"""Fig 4: pages (% of *total volume* pages) covering 90/95/99% of writes.
+
+Same analysis as Fig 3 with the denominator switched from touched pages
+to total volume pages.  The paper's observation: percentages are lower
+than Fig 3's (touched <= total) while the trends and the four-category
+classification are unchanged.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig3_rows, fig4_rows
+from repro.bench.reporting import format_table
+
+VOLUME_SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return fig4_rows(volume_scale=VOLUME_SCALE, seed=7)
+
+
+@pytest.fixture(scope="module")
+def touched_rows():
+    return fig3_rows(volume_scale=VOLUME_SCALE, seed=7)
+
+
+def test_fig4_skew_vs_total_pages(benchmark, rows):
+    benchmark.pedantic(
+        lambda: fig4_rows(applications=["azure_blob"], volume_scale=VOLUME_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 4: pages needed for write percentiles (% of total pages)",
+        )
+    )
+    for row in rows:
+        assert 0 <= row["p90_pct"] <= row["p95_pct"] <= row["p99_pct"] <= 100.0
+
+
+def test_fig4_lower_than_fig3(rows, touched_rows):
+    """Total pages >= touched pages, so every bar can only shrink."""
+    for total, touched in zip(rows, touched_rows):
+        assert total["application"] == touched["application"]
+        assert total["volume"] == touched["volume"]
+        for key in ("p90_pct", "p95_pct", "p99_pct"):
+            assert total[key] <= touched[key] + 1e-9
+
+
+def test_fig4_battery_sizing_implication(rows):
+    """For skewed volumes, well under half the volume needs battery
+    coverage at the 99th write percentile — the decoupling opportunity."""
+    skewed = [row for row in rows if row["p99_pct"] < 50.0]
+    assert len(skewed) / len(rows) > 0.5

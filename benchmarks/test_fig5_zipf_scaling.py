@@ -1,0 +1,36 @@
+"""Fig 5: under Zipf writes, the hot fraction shrinks as pages grow.
+
+The paper's analytical argument for why decoupling gets *more* attractive
+with NV-DRAM growth: for a fixed write percentile, the fraction of pages
+receiving that percentile of writes decreases as the total page count
+increases.
+"""
+
+from repro.bench.experiments import fig5_rows
+from repro.bench.reporting import format_table
+
+PAGE_COUNTS = (10_000, 100_000, 1_000_000, 10_000_000)
+
+
+def test_fig5_zipf_page_fraction_scaling(benchmark):
+    rows = benchmark.pedantic(
+        fig5_rows, args=(PAGE_COUNTS,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 5: fraction of pages at write percentiles (Zipf 0.99)",
+        )
+    )
+    for key in ("fraction_at_90", "fraction_at_95", "fraction_at_99"):
+        values = [row[key] for row in rows]
+        assert values == sorted(values, reverse=True), f"{key} must shrink"
+
+    # Percentile ordering within each page count.
+    for row in rows:
+        assert row["fraction_at_90"] <= row["fraction_at_95"] <= row["fraction_at_99"]
+
+    # The decoupling payoff: at 10M pages the 90%-of-writes set is well
+    # under half the fraction it is at 10K pages.
+    assert rows[-1]["fraction_at_90"] < rows[0]["fraction_at_90"] * 0.6

@@ -1,0 +1,73 @@
+"""Fig 7: YCSB throughput vs dirty budget, Viyojit vs NV-DRAM baseline.
+
+The paper's headline evaluation: across YCSB A/B/C/D/F, sweep the dirty
+budget from 2 GB to 18 GB (11%..103% of the 17.5 GB initial heap) and
+compare against a full-battery NV-DRAM baseline.  Expected shape:
+
+* overhead at 11% battery within the paper's 7-25% band,
+* write-heavy workloads (A, F) pay more than read-heavy ones (B, C, D),
+* overhead shrinks monotonically (modulo noise) as the budget grows,
+* near-baseline throughput once the budget covers the write working set.
+"""
+
+import pytest
+
+from repro.bench.experiments import PAPER_BUDGET_GB, fig7_rows
+from repro.bench.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(ycsb_sweep):
+    return fig7_rows(ycsb_sweep)
+
+
+def by_workload(rows, name):
+    return sorted(
+        (r for r in rows if r["workload"] == name), key=lambda r: r["budget_gb"]
+    )
+
+
+def test_fig7_throughput_sweep(benchmark, rows, ycsb_sweep):
+    benchmark.pedantic(lambda: fig7_rows(ycsb_sweep), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title=(
+                "Fig 7: YCSB throughput vs dirty budget "
+                "(budget_gb on the paper's 17.5 GB-heap axis)"
+            ),
+        )
+    )
+    assert len(rows) == 5 * len(PAPER_BUDGET_GB)
+
+
+def test_fig7_headline_band_at_11_percent(rows):
+    """Paper: 7-25% overhead at ~11% battery, depending on workload."""
+    at_11 = {r["workload"]: r["overhead_pct"] for r in rows if r["budget_gb"] == 2.0}
+    assert max(at_11.values()) < 35.0
+    assert max(at_11.values()) > 7.0
+    for workload, overhead in at_11.items():
+        assert overhead > 0.0, f"{workload} should pay something at 11%"
+
+
+def test_fig7_write_heavy_pays_more(rows):
+    at_11 = {r["workload"]: r["overhead_pct"] for r in rows if r["budget_gb"] == 2.0}
+    assert at_11["YCSB-A"] > at_11["YCSB-B"]
+    assert at_11["YCSB-A"] > at_11["YCSB-C"]
+    assert at_11["YCSB-F"] > at_11["YCSB-C"]
+
+
+def test_fig7_overhead_shrinks_with_budget(rows):
+    for workload in ("YCSB-A", "YCSB-B", "YCSB-C", "YCSB-F"):
+        series = by_workload(rows, workload)
+        first = series[0]["overhead_pct"]
+        last = series[-1]["overhead_pct"]
+        assert last < first, f"{workload}: {first} -> {last}"
+
+
+def test_fig7_near_baseline_at_full_budget(rows):
+    """At ~103% of the heap, read-heavy workloads approach the baseline."""
+    for workload in ("YCSB-B", "YCSB-C", "YCSB-D"):
+        series = by_workload(rows, workload)
+        assert series[-1]["overhead_pct"] < 8.0

@@ -1,0 +1,64 @@
+"""Fig 8: average and 99th-percentile operation latency vs dirty budget.
+
+The paper plots, for each workload, the latency of its most trap-prone
+operation (A/B: update, C: read, D: insert, F: read-modify-write):
+
+* tail (p99) latency with Viyojit sits above the baseline at *every*
+  budget — write protection is always on, so some op always traps,
+* average latency converges to the baseline once the budget is large
+  enough that the frequently-written pages stay dirty.
+"""
+
+import pytest
+
+from repro.bench.experiments import CONSERVATIVE_OP, fig8_rows
+from repro.bench.reporting import format_table
+
+
+@pytest.fixture(scope="module")
+def rows(ycsb_sweep):
+    return fig8_rows(ycsb_sweep)
+
+
+def series_for(rows, workload):
+    return sorted(
+        (r for r in rows if r["workload"] == workload),
+        key=lambda r: r["budget_gb"],
+    )
+
+
+def test_fig8_latency_sweep(benchmark, rows, ycsb_sweep):
+    benchmark.pedantic(lambda: fig8_rows(ycsb_sweep), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 8: op latency (ms) vs dirty budget — avg and p99",
+        )
+    )
+    assert {r["workload"] for r in rows} == set(CONSERVATIVE_OP)
+
+
+def test_fig8_tails_always_above_baseline(rows):
+    """Viyojit p99 > baseline p99 at every budget (paper's key point:
+    protection affects the tail even when the budget exceeds the heap)."""
+    for row in rows:
+        assert row["viyojit_p99_ms"] > row["nvdram_p99_ms"], row
+
+
+def test_fig8_average_converges_for_read_heavy(rows):
+    for workload in ("YCSB-B", "YCSB-C", "YCSB-D"):
+        series = series_for(rows, workload)
+        final = series[-1]
+        assert final["viyojit_avg_ms"] < final["nvdram_avg_ms"] * 1.15, workload
+
+
+def test_fig8_average_improves_with_budget(rows):
+    for workload in ("YCSB-A", "YCSB-F"):
+        series = series_for(rows, workload)
+        assert series[-1]["viyojit_avg_ms"] < series[0]["viyojit_avg_ms"], workload
+
+
+def test_fig8_update_tail_worse_at_small_budget(rows):
+    series = series_for(rows, "YCSB-A")
+    assert series[0]["viyojit_p99_ms"] > series[-1]["viyojit_p99_ms"]

@@ -1,0 +1,69 @@
+"""Fig 9: average SSD write rate during each workload vs dirty budget.
+
+The paper's wear/portability argument: even the worst flush traffic
+(write-heavy YCSB-A at ~11% battery, ~200 MB/s on their setup) is easily
+sustained by a modern SSD.  Expected shape:
+
+* write-heavy workloads (A, F, D) flush more than read-heavy (B, C),
+* the write rate *decreases* as the budget grows (more pages may stay
+  dirty, so fewer copies are needed),
+* everything stays far below the device's rated bandwidth.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig9_rows
+from repro.bench.reporting import format_table
+
+SSD_BANDWIDTH_MB_S = 2000.0  # the simulated device's rating
+
+
+@pytest.fixture(scope="module")
+def rows(ycsb_sweep):
+    return fig9_rows(ycsb_sweep)
+
+
+def series_for(rows, workload):
+    return sorted(
+        (r for r in rows if r["workload"] == workload),
+        key=lambda r: r["budget_gb"],
+    )
+
+
+def test_fig9_write_rates(benchmark, rows, ycsb_sweep):
+    benchmark.pedantic(lambda: fig9_rows(ycsb_sweep), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            title="Fig 9: average SSD write rate (MB/s) vs dirty budget",
+        )
+    )
+
+
+def test_fig9_sustainable_by_modern_ssds(rows):
+    worst = max(r["write_rate_mb_s"] for r in rows)
+    assert worst < SSD_BANDWIDTH_MB_S / 2
+
+
+def test_fig9_write_heavy_flushes_most(rows):
+    def peak(workload):
+        return max(r["write_rate_mb_s"] for r in series_for(rows, workload))
+
+    assert peak("YCSB-A") > peak("YCSB-B")
+    assert peak("YCSB-A") > peak("YCSB-C")
+    assert peak("YCSB-F") > peak("YCSB-C")
+
+
+def test_fig9_rate_decreases_with_budget(rows):
+    for workload in ("YCSB-A", "YCSB-F"):
+        series = series_for(rows, workload)
+        assert series[-1]["write_rate_mb_s"] < series[0]["write_rate_mb_s"]
+
+
+def test_fig9_read_only_flushes_little(rows):
+    """YCSB-C's only flush traffic is the Redis-style LRU-metadata
+    stores; the update stream of YCSB-A flushes several times more."""
+    c_rates = [r["write_rate_mb_s"] for r in series_for(rows, "YCSB-C")]
+    a_rates = [r["write_rate_mb_s"] for r in series_for(rows, "YCSB-A")]
+    assert max(c_rates) < max(a_rates) / 2

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Pull the plug on a running KV store and recover it from raw bytes.
+
+Demonstrates the durability guarantee end to end:
+
+1. run a write-heavy workload against the NVM KV store under a small
+   dirty budget,
+2. at a random moment, simulate a power failure — the battery flushes
+   exactly the dirty pages,
+3. rebuild the store *by parsing the recovered memory image* (no in-DRAM
+   state survives), and verify every key-value pair.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Simulation, Viyojit, ViyojitConfig
+from repro.core.crash import CrashSimulator, viyojit_battery
+from repro.kvstore.store import KVStore
+from repro.power.power_model import PowerModel
+
+PAGE = 4096
+BUDGET_PAGES = 24
+
+
+def main() -> None:
+    sim = Simulation()
+    system = Viyojit(
+        sim, num_pages=1024, config=ViyojitConfig(dirty_budget_pages=BUDGET_PAGES)
+    )
+    system.start()
+    store = KVStore(system, num_buckets=256, heap_bytes=512 * PAGE)
+    model = PowerModel()
+    battery = viyojit_battery(model, BUDGET_PAGES * PAGE)
+    crash = CrashSimulator(system, model, battery)
+
+    rng = random.Random(42)
+    expected = {}
+    crash_at = rng.randrange(800, 1200)
+    print(f"running workload; power will fail after {crash_at} operations")
+    for step in range(crash_at):
+        key = b"user%05d" % rng.randrange(300)
+        value = bytes([rng.randrange(256)]) * rng.randrange(16, 400)
+        store.put(key, value)
+        expected[key] = value
+
+    report = crash.power_failure()
+    print(f"POWER FAILURE at t={sim.clock.now_seconds * 1000:.1f} ms (virtual)")
+    print(f"  dirty pages: {report.dirty_pages} (budget {BUDGET_PAGES})")
+    print(f"  flush needs {report.energy_needed_joules:.3f} J; battery has "
+          f"{report.battery_usable_joules:.3f} J usable -> "
+          f"{'SURVIVES' if report.survives else 'DATA LOSS'}")
+    assert report.survives
+
+    # Build the post-recovery image: durable pages + battery-flushed pages.
+    image = {}
+    for pfn in range(system.region.num_pages):
+        data = system.backing.read(pfn)
+        if data is not None:
+            image[pfn] = data
+    for pfn in system.dirty_pages():
+        image[pfn] = system.region.page_bytes(pfn)
+
+    def read(addr: int, size: int) -> bytes:
+        out = bytearray()
+        cursor, remaining = addr, size
+        while remaining > 0:
+            pfn, offset = divmod(cursor, PAGE)
+            take = min(remaining, PAGE - offset)
+            out += image.get(pfn, bytes(PAGE))[offset : offset + take]
+            cursor += take
+            remaining -= take
+        return bytes(out)
+
+    recovered = KVStore.dump_from_reader(
+        read, store.header.base_addr, store.buckets.base_addr
+    )
+    print(f"recovered {len(recovered)} keys from raw bytes "
+          f"(expected {len(expected)})")
+    assert recovered == expected
+    print("every key-value pair matches: durability holds under an "
+          f"{BUDGET_PAGES}-page battery for a "
+          f"{system.region.num_pages}-page region "
+          f"({BUDGET_PAGES / system.region.num_pages:.1%} battery).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""YCSB over an NVM Redis-like store: Viyojit vs full-battery NV-DRAM.
+
+The paper's section 6 experiment in miniature: load a persistent KV
+store, run YCSB-A (update heavy) and YCSB-B (read mostly) at several
+dirty budgets, and print the throughput / latency / battery comparison.
+
+Run:  python examples/kvstore_ycsb.py
+"""
+
+from repro.bench.reporting import format_table, overhead_percent
+from repro.bench.runner import ExperimentScale, run_workload
+from repro.power.power_model import PowerModel
+from repro.workloads.ycsb import YCSB_A, YCSB_B
+
+SCALE = ExperimentScale(record_count=2000, operation_count=6000)
+BUDGET_FRACTIONS = (2 / 17.5, 8 / 17.5, 16 / 17.5)  # 2, 8, 16 "GB" on the paper axis
+
+
+def main() -> None:
+    model = PowerModel()
+    heap_bytes = SCALE.initial_heap_pages * 4096
+    rows = []
+    for spec in (YCSB_A, YCSB_B):
+        print(f"running {spec.name} baseline ({spec.description}) ...")
+        baseline = run_workload(spec, SCALE, None)
+        for fraction in BUDGET_FRACTIONS:
+            print(f"running {spec.name} at {fraction * 100:.0f}% battery ...")
+            result = run_workload(spec, SCALE, fraction)
+            battery = model.battery_for_dirty_bytes(int(heap_bytes * fraction))
+            full = model.battery_for_dirty_bytes(heap_bytes)
+            op = "update" if spec.update_proportion else "read"
+            rows.append(
+                {
+                    "workload": spec.name,
+                    "battery_pct": round(fraction * 100),
+                    "battery_joules_saved_pct": round(
+                        (1 - battery.nominal_joules / full.nominal_joules) * 100
+                    ),
+                    "kops": round(result.throughput_kops, 1),
+                    "baseline_kops": round(baseline.throughput_kops, 1),
+                    "overhead_pct": round(
+                        overhead_percent(
+                            baseline.throughput_kops, result.throughput_kops
+                        ),
+                        1,
+                    ),
+                    f"avg_ms": round(result.latency[op].avg_ms, 4),
+                    f"p99_ms": round(result.latency[op].p99_ms, 4),
+                    "flush_mb_s": round(result.avg_write_rate_mb_s, 1),
+                }
+            )
+    print()
+    print(
+        format_table(
+            rows,
+            title="Viyojit vs full-battery NV-DRAM "
+            "(battery % of the full-backup requirement)",
+        )
+    )
+    print()
+    print("Reading the table: at ~11% of the battery, the update-heavy")
+    print("workload loses a modest fraction of throughput and some tail")
+    print("latency; the read-mostly workload barely notices.  That is the")
+    print("paper's trade-off: battery capacity for performance, chosen per")
+    print("workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Viyojit reproduction: decoupling battery and DRAM capacities.
+
+A simulation-backed reimplementation of *"Viyojit: Decoupling Battery and
+DRAM Capacities for Battery-Backed DRAM"* (Kateja, Badam, Govindan,
+Sharma, Ganger — ISCA 2017).
+
+Quick tour
+----------
+>>> from repro import Simulation, Viyojit, ViyojitConfig
+>>> sim = Simulation()
+>>> system = Viyojit(sim, num_pages=1024,
+...                  config=ViyojitConfig(dirty_budget_pages=64))
+>>> system.start()
+>>> mapping = system.mmap(64 * 1024)
+>>> system.write(mapping.base_addr, b"durable at a fraction of the battery")
+>>> system.dirty_count
+1
+
+Package map
+-----------
+``repro.core``
+    Viyojit itself (dirty budget, LRU-on-update victim selection, EWMA
+    pressure, proactive flushing), the full-battery baseline, the
+    hardware-assisted variant, and the crash/durability simulator.
+``repro.mem`` / ``repro.storage`` / ``repro.power`` / ``repro.sim``
+    The substrates: simulated MMU + page table + TLB, SSD + backing
+    store, battery + power model + density-scaling data, and the virtual
+    clock/event engine.
+``repro.kvstore``
+    A Redis-like persistent KV store over NV-DRAM (the paper's evaluation
+    application).
+``repro.workloads``
+    YCSB A/B/C/D/F, request distributions, synthetic datacenter traces,
+    and the section 3 trace analyses.
+``repro.bench``
+    The harness regenerating every evaluation figure (Figs 1-5, 7-10).
+"""
+
+from repro.core import (
+    CrashSimulator,
+    FullBatteryNVDRAM,
+    HardwareViyojit,
+    Viyojit,
+    ViyojitConfig,
+)
+from repro.mem import MachineModel, NVDRAMRegion
+from repro.power import Battery, PowerModel
+from repro.sim import Simulation
+from repro.storage import SSD, BackingStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Viyojit",
+    "FullBatteryNVDRAM",
+    "HardwareViyojit",
+    "ViyojitConfig",
+    "CrashSimulator",
+    "Simulation",
+    "MachineModel",
+    "NVDRAMRegion",
+    "SSD",
+    "BackingStore",
+    "Battery",
+    "PowerModel",
+    "__version__",
+]

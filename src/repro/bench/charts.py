@@ -1,0 +1,136 @@
+"""ASCII charts for terminal-rendered figures.
+
+The paper's figures are bar charts (Figs 2-4) and line plots (Figs 5,
+7-9).  These renderers draw the same shapes in plain text so
+``python -m repro`` output can be eyeballed against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+BAR_CHAR = "#"
+FULL_WIDTH = 48
+
+
+def bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    label_key: str,
+    value_key: str,
+    title: Optional[str] = None,
+    width: int = FULL_WIDTH,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one bar per row (the Fig 2-4 shape)."""
+    if width <= 0:
+        raise ValueError(f"width must be positive: {width}")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not rows:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    values = [float(row[value_key]) for row in rows]
+    top = max_value if max_value is not None else max(values)
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    for row, value in zip(rows, values):
+        bar = BAR_CHAR * max(0, round(value / top * width))
+        lines.append(
+            f"{str(row[label_key]).ljust(label_width)} |{bar} {value:g}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    group_key: str,
+    label_key: str,
+    value_key: str,
+    title: Optional[str] = None,
+    width: int = FULL_WIDTH,
+) -> str:
+    """Bars grouped under headers — one panel per group (Fig 2's layout)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    groups: Dict[str, List[Mapping[str, object]]] = {}
+    for row in rows:
+        groups.setdefault(str(row[group_key]), []).append(row)
+    if not groups:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    top = max(float(row[value_key]) for row in rows)
+    for name, group_rows in groups.items():
+        lines.append(f"-- {name} --")
+        lines.append(
+            bar_chart(
+                group_rows, label_key, value_key, width=width, max_value=top
+            )
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multi-series scatter/line plot on a character grid (Fig 7's shape).
+
+    Each series gets a marker (its name's first letter, upper-cased
+    uniquely); overlapping points show the later series' marker.
+    """
+    if height < 3 or width < 10:
+        raise ValueError("plot must be at least 3 rows by 10 columns")
+    names = list(series)
+    if not names or not x_values:
+        return (title + "\n" if title else "") + "(no data)"
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{len(x_values)} x values"
+            )
+    all_y = [y for name in names for y in series[name]]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used = set()
+    for name in names:
+        for char in (name[0].upper() + name):
+            upper = char.upper()
+            if upper.isalnum() and upper not in used:
+                markers[name] = upper
+                used.add(upper)
+                break
+        else:
+            markers[name] = "*"
+    for name in names:
+        for x, y in zip(x_values, series[name]):
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = markers[name]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:>10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.3g} +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{x_min:<10.3g}" + " " * max(0, width - 20) + f"{x_max:>10.3g}"
+    )
+    legend = "  ".join(f"{markers[name]}={name}" for name in names)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""ASCII tables and series for benchmark output.
+
+The harness prints the same rows/series the paper's figures plot, so a
+reader can compare shapes (who wins, by what factor, where crossovers
+fall) directly against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict-rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table: List[List[str]] = [[str(col) for col in columns]]
+    for row in rows:
+        table.append([_format_cell(row.get(col, "")) for col in columns])
+    widths = [max(len(line[i]) for line in table) for i in range(len(columns))]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(cell.ljust(width) for cell, width in zip(table[0], widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Iterable[float]],
+    x_label: str,
+    x_values: Iterable[float],
+    title: Optional[str] = None,
+) -> str:
+    """Render named y-series against shared x values, one row per x."""
+    xs = list(x_values)
+    names = list(series.keys())
+    rows = []
+    materialized = {name: list(values) for name, values in series.items()}
+    for name, values in materialized.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(xs)} x values"
+            )
+    for index, x in enumerate(xs):
+        row: Dict[str, object] = {x_label: x}
+        for name in names:
+            row[name] = materialized[name][index]
+        rows.append(row)
+    return format_table(rows, [x_label] + names, title)
+
+
+def overhead_percent(baseline: float, measured: float) -> float:
+    """Throughput overhead as the paper reports it: % below baseline."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive: {baseline}")
+    return (baseline - measured) / baseline * 100.0

@@ -1,0 +1,424 @@
+"""Experiment runner: YCSB over the KV store over (Viyojit | baseline).
+
+Scaling
+-------
+The paper's setup is a 60 GB NV-DRAM region, a 17.5 GB initial Redis heap,
+10M operations, and dirty budgets of 1-19 GB.  Simulating 4.6M pages and
+10M operations in Python is impractical, so :class:`ExperimentScale`
+shrinks everything coherently: the *ratios* that determine the results —
+dirty budget as a fraction of the initial heap, NV-DRAM size as a multiple
+of the heap, write working-set skew — are preserved, and budgets are still
+quoted as "GB" by mapping the scaled heap to the paper's 17.5 GB.
+
+Methodology notes mirrored from section 6.1:
+
+* The budget fraction's denominator is the *initial* heap size (even for
+  YCSB-D, which grows the heap).
+* The baseline ("NV-DRAM") runs the same store with a full-size battery:
+  no protection, tracking, or flushing.
+* Latency is reported per operation type; the paper plots the most
+  trap-prone type per workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import FullBatteryNVDRAM, NVDRAMSystem, Viyojit
+from repro.kvstore.store import KVStore
+from repro.kvstore.heap import size_class
+from repro.mem.machine import MachineModel
+from repro.sim.clock import NS_PER_SEC
+from repro.sim.events import Simulation
+from repro.storage.ssd import SSD
+from repro.workloads.ycsb import (
+    Operation,
+    WorkloadSpec,
+    generate_operations,
+    load_operations,
+)
+
+PAPER_HEAP_GB = 17.5  # the paper's initial dataset, used to label budgets
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Coherent scale-down of the paper's experimental setup.
+
+    ``record_count`` keys of ``value_size``-byte values form the initial
+    heap; the NV-DRAM region is ``region_heap_multiple`` times the heap
+    (the paper: 60 GB / 17.5 GB ~ 3.4x).
+    """
+
+    record_count: int = 6_000
+    operation_count: int = 24_000
+    value_size: int = 976  # 24B header + 24B key + 976B value = one 1 KiB block
+    region_heap_multiple: float = 3.4
+    zipf_theta: float = 0.99
+    seed: int = 42
+    # The paper's machine has a ~1.5K-entry TLB against 15M NV-DRAM pages:
+    # only the hot pages stay resident.  A scaled-down region must scale
+    # the TLB down too, or the stale-dirty-bit mechanism (section 6.3)
+    # disappears — with every translation resident, re-writes to hot pages
+    # are never re-marked in the page table for *any* page, so victim
+    # selection degrades uniformly instead of inverting against hot pages.
+    tlb_entries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0:
+            raise ValueError(f"record_count must be positive: {self.record_count}")
+        if self.operation_count < 0:
+            raise ValueError(
+                f"operation_count must be non-negative: {self.operation_count}"
+            )
+        if self.value_size <= 0:
+            raise ValueError(f"value_size must be positive: {self.value_size}")
+        if self.region_heap_multiple < 1.2:
+            raise ValueError(
+                "region must comfortably exceed the heap: "
+                f"multiple {self.region_heap_multiple}"
+            )
+        if self.tlb_entries <= 0:
+            raise ValueError(f"tlb_entries must be positive: {self.tlb_entries}")
+
+    def machine(self, base: Optional[MachineModel] = None) -> MachineModel:
+        """The machine model at this scale (TLB sized to the region)."""
+        from dataclasses import replace
+
+        return replace(
+            base if base is not None else MachineModel(),
+            tlb_entries=self.tlb_entries,
+        )
+
+    @property
+    def record_block_bytes(self) -> int:
+        """Allocator block per record (header + key + value, size-classed)."""
+        return size_class(24 + 24 + self.value_size)
+
+    def heap_bytes(self, headroom: float = 1.6) -> int:
+        """Heap mapping size: initial records plus insert headroom."""
+        return int(self.record_count * self.record_block_bytes * headroom)
+
+    @property
+    def initial_heap_pages(self) -> int:
+        """Pages holding the initial dataset — the budget denominator."""
+        page = MachineModel().page_size
+        return -(-self.record_count * self.record_block_bytes // page)
+
+    @property
+    def region_pages(self) -> int:
+        page = MachineModel().page_size
+        heap_pages = -(-self.heap_bytes() // page)
+        extra = 64  # header/buckets/stats mappings
+        return int((heap_pages + extra) * self.region_heap_multiple)
+
+    def budget_pages_for_fraction(self, fraction: float) -> int:
+        """Dirty budget (pages) for a budget of ``fraction`` x initial heap."""
+        if fraction <= 0:
+            raise ValueError(f"fraction must be positive: {fraction}")
+        return max(1, int(round(fraction * self.initial_heap_pages)))
+
+    def budget_gb_label(self, fraction: float) -> float:
+        """The paper's x-axis: the budget in (paper-equivalent) GB."""
+        return fraction * PAPER_HEAP_GB
+
+
+@dataclass
+class LatencySummary:
+    """Average and tail latency for one operation type, in milliseconds."""
+
+    count: int
+    avg_ms: float
+    p99_ms: float
+
+    @classmethod
+    def from_ns(cls, samples_ns: List[int]) -> "LatencySummary":
+        if not samples_ns:
+            return cls(count=0, avg_ms=0.0, p99_ms=0.0)
+        arr = np.asarray(samples_ns, dtype=np.float64) / 1e6
+        return cls(
+            count=len(arr),
+            avg_ms=float(arr.mean()),
+            p99_ms=float(np.percentile(arr, 99)),
+        )
+
+    @classmethod
+    def from_histogram(cls, histogram) -> "LatencySummary":
+        """Summarize a :class:`repro.bench.histogram.LatencyHistogram`."""
+        if histogram.count == 0:
+            return cls(count=0, avg_ms=0.0, p99_ms=0.0)
+        return cls(
+            count=histogram.count,
+            avg_ms=histogram.mean_ns / 1e6,
+            p99_ms=histogram.percentile(99) / 1e6,
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything one (workload, system, budget) run produced."""
+
+    workload: str
+    system_kind: str  # "viyojit" | "nvdram"
+    budget_fraction: Optional[float]
+    budget_pages: Optional[int]
+    ops_executed: int
+    elapsed_ns: int
+    latency: Dict[str, LatencySummary] = field(default_factory=dict)
+    histograms: Dict[str, "LatencyHistogram"] = field(
+        default_factory=dict, repr=False
+    )
+    ssd_bytes_written: int = 0
+    viyojit_stats: Optional[dict] = None
+
+    @property
+    def throughput_kops(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.ops_executed / (self.elapsed_ns / NS_PER_SEC) / 1e3
+
+    @property
+    def avg_write_rate_mb_s(self) -> float:
+        """Fig 9's metric: bytes flushed per second of workload time."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.ssd_bytes_written / (self.elapsed_ns / NS_PER_SEC) / 1e6
+
+
+def build_viyojit(
+    scale: ExperimentScale,
+    budget_fraction: float,
+    machine: Optional[MachineModel] = None,
+    ssd: Optional[SSD] = None,
+    flush_tlb_on_scan: bool = True,
+    proactive: bool = True,
+) -> Tuple[Simulation, Viyojit]:
+    """A started Viyojit system at a budget fraction of the initial heap."""
+    sim = Simulation()
+    config = ViyojitConfig(
+        dirty_budget_pages=scale.budget_pages_for_fraction(budget_fraction),
+        flush_tlb_on_scan=flush_tlb_on_scan,
+        proactive=proactive,
+    )
+    system = Viyojit(
+        sim=sim,
+        num_pages=scale.region_pages,
+        config=config,
+        ssd=ssd if ssd is not None else SSD(),
+        machine=scale.machine(machine),
+    )
+    system.start()
+    return sim, system
+
+
+def build_baseline(
+    scale: ExperimentScale,
+    machine: Optional[MachineModel] = None,
+) -> Tuple[Simulation, FullBatteryNVDRAM]:
+    """The full-battery NV-DRAM baseline at the same scale."""
+    sim = Simulation()
+    system = FullBatteryNVDRAM(
+        sim=sim, num_pages=scale.region_pages, machine=scale.machine(machine)
+    )
+    system.start()
+    return sim, system
+
+
+def value_bytes(key: bytes, size: int, nonce: int = 0) -> bytes:
+    """Deterministic, cheap pseudo-random value payload."""
+    from repro.kvstore.store import fnv1a
+
+    seed = fnv1a(key + nonce.to_bytes(8, "little")).to_bytes(8, "little")
+    reps = -(-size // 8)
+    return (seed * reps)[:size]
+
+
+class YCSBRunner:
+    """Loads a store and replays YCSB operation streams against it."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        system: NVDRAMSystem,
+        scale: ExperimentScale,
+        ordered: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.system = system
+        self.scale = scale
+        buckets = 1 << max(8, (scale.record_count - 1).bit_length())
+        self.store = KVStore(
+            system,
+            num_buckets=buckets,
+            heap_bytes=scale.heap_bytes(),
+            ordered=ordered,
+        )
+        self._nonce = 0
+
+    def load(self) -> None:
+        """The YCSB load phase (excluded from measurements)."""
+        for op in load_operations(self.scale.record_count, self.scale.value_size):
+            self.store.put(op.key, value_bytes(op.key, self.scale.value_size))
+
+    def _execute(self, op: Operation) -> str:
+        """Run one operation; returns the latency bucket it belongs to."""
+        if op.kind == "read":
+            self.store.get(op.key)
+            return "read"
+        self._nonce += 1
+        if op.kind == "update":
+            self.store.put(
+                op.key, value_bytes(op.key, self.scale.value_size, self._nonce)
+            )
+            return "update"
+        if op.kind == "insert":
+            self.store.put(
+                op.key, value_bytes(op.key, self.scale.value_size, self._nonce)
+            )
+            return "insert"
+        if op.kind == "rmw":
+            nonce = self._nonce
+
+            def mutate(value: bytes) -> bytes:
+                return value_bytes(op.key, len(value), nonce)
+
+            self.store.read_modify_write(op.key, mutate)
+            return "rmw"
+        if op.kind == "scan":
+            self.store.scan(op.key, op.scan_length)
+            return "scan"
+        raise ValueError(f"unknown operation kind: {op.kind}")
+
+    def run(
+        self,
+        spec: WorkloadSpec,
+        operations: Optional[Iterable[Operation]] = None,
+    ) -> RunResult:
+        """Replay one workload, measuring per-op latency as clock deltas."""
+        if operations is None:
+            operations = generate_operations(
+                spec,
+                record_count=self.scale.record_count,
+                operation_count=self.scale.operation_count,
+                value_size=self.scale.value_size,
+                theta=self.scale.zipf_theta,
+                seed=self.scale.seed,
+            )
+        from repro.bench.histogram import LatencyHistogram
+
+        samples: Dict[str, LatencyHistogram] = {}
+        ssd = getattr(self.system, "ssd", None)
+        bytes_before = ssd.stats.bytes_written if ssd is not None else 0
+        started = self.sim.now
+        executed = 0
+        for op in operations:
+            op_start = self.sim.now
+            bucket = self._execute(op)
+            samples.setdefault(bucket, LatencyHistogram()).record(
+                self.sim.now - op_start
+            )
+            executed += 1
+        elapsed = self.sim.now - started
+        stats = getattr(self.system, "stats", None)
+        return RunResult(
+            workload=spec.name,
+            system_kind="viyojit" if isinstance(self.system, Viyojit) else "nvdram",
+            budget_fraction=(
+                self.system.config.dirty_budget_pages / self.scale.initial_heap_pages
+                if isinstance(self.system, Viyojit)
+                else None
+            ),
+            budget_pages=(
+                self.system.config.dirty_budget_pages
+                if isinstance(self.system, Viyojit)
+                else None
+            ),
+            ops_executed=executed,
+            elapsed_ns=elapsed,
+            latency={
+                kind: LatencySummary.from_histogram(hist)
+                for kind, hist in samples.items()
+            },
+            histograms=samples,
+            ssd_bytes_written=(
+                ssd.stats.bytes_written - bytes_before if ssd is not None else 0
+            ),
+            viyojit_stats=stats.summary() if stats is not None else None,
+        )
+
+
+@dataclass
+class RepeatedResult:
+    """Mean +/- RMSE over several seeded runs (the paper's methodology).
+
+    Section 6.1: "each data point is averaged over three runs and the
+    error bars represent the root mean square error."
+    """
+
+    runs: List[RunResult]
+
+    @property
+    def mean_kops(self) -> float:
+        values = [run.throughput_kops for run in self.runs]
+        return sum(values) / len(values)
+
+    @property
+    def rmse_kops(self) -> float:
+        mean = self.mean_kops
+        values = [run.throughput_kops for run in self.runs]
+        return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+    def latency_mean_ms(self, kind: str, tail: bool = False) -> float:
+        values = [
+            (run.latency[kind].p99_ms if tail else run.latency[kind].avg_ms)
+            for run in self.runs
+            if kind in run.latency
+        ]
+        if not values:
+            raise KeyError(f"no latency samples for operation kind {kind!r}")
+        return sum(values) / len(values)
+
+
+def run_workload_repeated(
+    spec: WorkloadSpec,
+    scale: ExperimentScale,
+    budget_fraction: Optional[float],
+    runs: int = 3,
+    **kwargs,
+) -> RepeatedResult:
+    """The paper's three-runs-with-RMSE protocol, seeds varied per run."""
+    if runs <= 0:
+        raise ValueError(f"runs must be positive: {runs}")
+    from dataclasses import replace as dc_replace
+
+    results = []
+    for index in range(runs):
+        seeded = dc_replace(scale, seed=scale.seed + 1000 * index)
+        results.append(run_workload(spec, seeded, budget_fraction, **kwargs))
+    return RepeatedResult(runs=results)
+
+
+def run_workload(
+    spec: WorkloadSpec,
+    scale: ExperimentScale,
+    budget_fraction: Optional[float],
+    flush_tlb_on_scan: bool = True,
+    proactive: bool = True,
+) -> RunResult:
+    """Convenience: build, load, run.  ``budget_fraction=None`` = baseline."""
+    if budget_fraction is None:
+        sim, system = build_baseline(scale)
+    else:
+        sim, system = build_viyojit(
+            scale,
+            budget_fraction,
+            flush_tlb_on_scan=flush_tlb_on_scan,
+            proactive=proactive,
+        )
+    runner = YCSBRunner(sim, system, scale, ordered=spec.scan_proportion > 0)
+    runner.load()
+    return runner.run(spec)

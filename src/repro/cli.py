@@ -1,0 +1,332 @@
+"""Command-line interface: regenerate the paper's evaluation from a shell.
+
+Usage::
+
+    python -m repro list                      # what can be regenerated
+    python -m repro fig1                      # DRAM vs lithium growth
+    python -m repro fig2|fig3|fig4 [--scale F] [--apps a,b]
+    python -m repro fig5
+    python -m repro ycsb [--workloads A,B,C,D,F] [--budgets-gb 2,8,16]
+                         [--records N] [--ops N]       # Figs 7/8/9 rows
+    python -m repro sizing                    # section 2.2 battery math
+    python -m repro ablation                  # stale dirty bits (6.3)
+    python -m repro policies                  # victim-policy comparison
+
+Every subcommand prints the same ASCII rows the corresponding benchmark
+asserts on, so the CLI and the test suite cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import experiments
+from repro.bench.reporting import format_table
+from repro.bench.runner import ExperimentScale, PAPER_HEAP_GB
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+
+def _parse_workloads(spec: str):
+    names = []
+    for token in spec.split(","):
+        token = token.strip().upper()
+        name = token if token.startswith("YCSB-") else f"YCSB-{token}"
+        if name not in YCSB_WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {token!r}; choose from "
+                f"{sorted(YCSB_WORKLOADS)}"
+            )
+        names.append(name)
+    return [YCSB_WORKLOADS[name] for name in names]
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    return ExperimentScale(
+        record_count=args.records, operation_count=args.ops
+    )
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        {"command": "fig1", "regenerates": "Fig 1: DRAM vs lithium growth"},
+        {"command": "fig2", "regenerates": "Fig 2: worst-interval write fractions"},
+        {"command": "fig3", "regenerates": "Fig 3: skew vs touched pages"},
+        {"command": "fig4", "regenerates": "Fig 4: skew vs total pages"},
+        {"command": "fig5", "regenerates": "Fig 5: zipf page-fraction scaling"},
+        {"command": "ycsb", "regenerates": "Figs 7/8/9: throughput, latency, write rate"},
+        {"command": "sizing", "regenerates": "Section 2.2: battery sizing"},
+        {"command": "ablation", "regenerates": "Section 6.3: stale dirty bits"},
+        {"command": "policies", "regenerates": "Victim-policy comparison"},
+    ]
+    print(format_table(rows, title="Available experiment regenerators"))
+    return 0
+
+
+def cmd_fig1(_args: argparse.Namespace) -> int:
+    print(format_table(experiments.fig1_table(), title="Fig 1"))
+    return 0
+
+
+def _trace_fig(builder, args: argparse.Namespace, title: str) -> int:
+    apps = args.apps.split(",") if args.apps else None
+    rows = builder(applications=apps, volume_scale=args.scale)
+    if getattr(args, "chart", False):
+        from repro.bench.charts import grouped_bar_chart
+
+        value_key = "one_hour_pct" if "one_hour_pct" in rows[0] else "p99_pct"
+        print(
+            grouped_bar_chart(
+                rows, "application", "volume", value_key,
+                title=f"{title} [{value_key}]",
+            )
+        )
+    else:
+        print(format_table(rows, title=title))
+    return 0
+
+
+def cmd_fig2(args):  # noqa: D103 - dispatched
+    return _trace_fig(experiments.fig2_rows, args, "Fig 2: worst-interval writes (%)")
+
+
+def cmd_fig3(args):  # noqa: D103
+    return _trace_fig(experiments.fig3_rows, args, "Fig 3: skew (% of touched)")
+
+
+def cmd_fig4(args):  # noqa: D103
+    return _trace_fig(experiments.fig4_rows, args, "Fig 4: skew (% of total)")
+
+
+def cmd_fig5(_args: argparse.Namespace) -> int:
+    print(format_table(experiments.fig5_rows(), title="Fig 5: zipf scaling"))
+    return 0
+
+
+def cmd_ycsb(args: argparse.Namespace) -> int:
+    workloads = _parse_workloads(args.workloads)
+    fractions = [
+        float(gb) / PAPER_HEAP_GB for gb in args.budgets_gb.split(",")
+    ]
+    scale = _scale_from(args)
+    print(
+        f"running {len(workloads)} workload(s) x {len(fractions)} budget(s) "
+        f"at {scale.record_count} records / {scale.operation_count} ops ...",
+        file=sys.stderr,
+    )
+    results = experiments.run_sweep(workloads, fractions, scale)
+    fig7 = experiments.fig7_rows(results)
+    print(format_table(fig7, title="Fig 7: throughput"))
+    if args.chart and len(fractions) > 1:
+        from repro.bench.charts import line_plot
+
+        xs = sorted({row["budget_gb"] for row in fig7})
+        series = {}
+        for spec in workloads:
+            by_budget = {
+                row["budget_gb"]: row["viyojit_kops"]
+                for row in fig7
+                if row["workload"] == spec.name
+            }
+            series[spec.name] = [by_budget[x] for x in xs]
+            series["baseline"] = [
+                next(
+                    row["nvdram_kops"]
+                    for row in fig7
+                    if row["workload"] == workloads[0].name
+                )
+            ] * len(xs)
+        print()
+        print(
+            line_plot(
+                xs, series,
+                title="Fig 7 (chart): throughput (kops) vs budget (GB)",
+            )
+        )
+    print()
+    print(format_table(experiments.fig8_rows(results), title="Fig 8: latency (ms)"))
+    print()
+    print(format_table(experiments.fig9_rows(results), title="Fig 9: SSD write rate"))
+    return 0
+
+
+def cmd_sizing(_args: argparse.Namespace) -> int:
+    print(
+        format_table(
+            experiments.battery_sizing_rows(), title="Section 2.2: battery sizing"
+        )
+    )
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.bench.trace_replay import TraceReplayer
+    from repro.core.config import ViyojitConfig
+    from repro.core.runtime import Viyojit
+    from repro.sim.events import Simulation
+    from repro.workloads.traces import application_volumes, generate_volume_trace, scaled_spec
+
+    rows = []
+    for index, spec in enumerate(application_volumes(args.app)):
+        trace = generate_volume_trace(scaled_spec(spec, args.scale), seed=7 + index)
+        sim = Simulation()
+        budget = max(1, int(trace.spec.num_pages * args.battery_pct / 100))
+        system = Viyojit(
+            sim,
+            num_pages=trace.spec.num_pages + 64,
+            config=ViyojitConfig(dirty_budget_pages=budget),
+        )
+        system.start()
+        result = TraceReplayer(system, trace).replay()
+        rows.append(
+            {
+                "volume": spec.name,
+                "writes": result.writes,
+                "peak_dirty": result.peak_dirty_pages,
+                "budget": result.budget_pages,
+                "eviction_rate": round(result.eviction_rate, 4),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=f"{args.app} volumes replayed at {args.battery_pct:g}% battery",
+        )
+    )
+    return 0
+
+
+def cmd_economics(args: argparse.Namespace) -> int:
+    from repro.power.economics import BatteryCostModel, FleetSpec, fleet_capex_rows
+    from repro.power.power_model import PowerModel
+
+    rows = fleet_capex_rows(
+        FleetSpec(servers=args.servers),
+        PowerModel(),
+        BatteryCostModel(),
+    )
+    print(
+        format_table(
+            rows,
+            title=f"Section 2.2: fleet battery capex ({args.servers:,} servers "
+            "x 4 TB NV-DRAM)",
+        )
+    )
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    rows = experiments.stale_bits_ablation(scale=_scale_from(args))
+    print(format_table(rows, title="Section 6.3: stale dirty bits (YCSB-A, 11%)"))
+    return 0
+
+
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro.bench.runner import YCSBRunner
+    from repro.core.config import ViyojitConfig
+    from repro.core.policies import POLICY_NAMES
+    from repro.core.runtime import Viyojit
+    from repro.sim.events import Simulation
+    from repro.workloads.ycsb import YCSB_A
+
+    scale = _scale_from(args)
+    rows = []
+    for policy in POLICY_NAMES:
+        sim = Simulation()
+        system = Viyojit(
+            sim,
+            num_pages=scale.region_pages,
+            config=ViyojitConfig(
+                dirty_budget_pages=scale.budget_pages_for_fraction(2 / 17.5),
+                victim_policy=policy,
+            ),
+            machine=scale.machine(),
+        )
+        system.start()
+        runner = YCSBRunner(sim, system, scale)
+        runner.load()
+        result = runner.run(YCSB_A)
+        rows.append(
+            {
+                "policy": policy,
+                "throughput_kops": round(result.throughput_kops, 2),
+                "write_faults": result.viyojit_stats["write_faults"],
+            }
+        )
+    print(format_table(rows, title="Victim policies (YCSB-A, 11% battery)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Viyojit (ISCA '17) reproduction — experiment regenerators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available regenerators").set_defaults(
+        func=cmd_list
+    )
+    sub.add_parser("fig1", help="Fig 1 growth series").set_defaults(func=cmd_fig1)
+    for name, func in (("fig2", cmd_fig2), ("fig3", cmd_fig3), ("fig4", cmd_fig4)):
+        p = sub.add_parser(name, help=f"{name} trace analysis")
+        p.add_argument("--scale", type=float, default=0.25,
+                       help="volume scale factor (default 0.25)")
+        p.add_argument("--apps", type=str, default=None,
+                       help="comma-separated application subset")
+        p.add_argument("--chart", action="store_true",
+                       help="render as ASCII bars instead of a table")
+        p.set_defaults(func=func)
+    sub.add_parser("fig5", help="Fig 5 zipf scaling").set_defaults(func=cmd_fig5)
+
+    ycsb = sub.add_parser("ycsb", help="Figs 7/8/9 YCSB sweep")
+    ycsb.add_argument("--workloads", default="A,B,C,D,F")
+    ycsb.add_argument("--budgets-gb", default="2,8,16",
+                      help="dirty budgets on the paper's 17.5 GB-heap axis")
+    ycsb.add_argument("--records", type=int, default=2000)
+    ycsb.add_argument("--ops", type=int, default=6000)
+    ycsb.add_argument("--chart", action="store_true",
+                      help="also render Fig 7 as an ASCII line plot")
+    ycsb.set_defaults(func=cmd_ycsb)
+
+    replay = sub.add_parser(
+        "replay", help="replay section 3 traces against a live Viyojit"
+    )
+    replay.add_argument("--app", default="cosmos",
+                        help="application (azure_blob/cosmos/page_rank/search_index)")
+    replay.add_argument("--battery-pct", type=float, default=15.0,
+                        help="battery as %% of each volume (default 15)")
+    replay.add_argument("--scale", type=float, default=0.08)
+    replay.set_defaults(func=cmd_replay)
+
+    sub.add_parser("sizing", help="section 2.2 battery math").set_defaults(
+        func=cmd_sizing
+    )
+    econ = sub.add_parser("economics", help="section 2.2 fleet capex")
+    econ.add_argument("--servers", type=int, default=50_000)
+    econ.set_defaults(func=cmd_economics)
+    for name, func in (("ablation", cmd_ablation), ("policies", cmd_policies)):
+        p = sub.add_parser(name, help=f"{name} experiment")
+        p.add_argument("--records", type=int, default=2000)
+        p.add_argument("--ops", type=int, default=6000)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped through `head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""Viyojit core: dirty-budget-bounded battery-backed DRAM.
+
+The paper's contribution (sections 4-5), as a composable runtime:
+
+:class:`Viyojit`
+    The system — mmap-like NV-DRAM API whose dirty page count never
+    exceeds the battery-derived budget.
+:class:`FullBatteryNVDRAM`
+    The evaluation baseline (battery sized for the whole region).
+:class:`HardwareViyojit`
+    The section 5.4 MMU-offloaded variant.
+:class:`ViyojitConfig`
+    Tunables (budget, epoch, history depth, EWMA weight, IO cap).
+:class:`CrashSimulator`
+    Power-failure injection + recovery verification.
+
+Supporting pieces (each individually testable): :class:`DirtyTracker`,
+:class:`UpdateHistory`, :class:`PressureEstimator`, :class:`Flusher`,
+:class:`ViyojitStats`.
+"""
+
+from repro.core.ballooning import BatteryBroker, RebalanceReport, TenantState
+from repro.core.config import ViyojitConfig
+from repro.core.crash import (
+    CrashReport,
+    CrashSimulator,
+    RecoveryReport,
+    full_backup_battery,
+    viyojit_battery,
+)
+from repro.core.dirty_tracker import DirtyTracker
+from repro.core.finegrain import BlockTracker, FineGrainViyojit
+from repro.core.flusher import Flusher
+from repro.core.history import UpdateHistory
+from repro.core.policies import POLICY_NAMES, VictimPolicy, make_policy
+from repro.core.pressure import PressureEstimator
+from repro.core.runtime import (
+    FullBatteryNVDRAM,
+    HardwareViyojit,
+    Mapping,
+    NVDRAMSystem,
+    OutOfNVDRAM,
+    Viyojit,
+)
+from repro.core.stats import ViyojitStats
+
+__all__ = [
+    "Viyojit",
+    "FullBatteryNVDRAM",
+    "HardwareViyojit",
+    "NVDRAMSystem",
+    "Mapping",
+    "OutOfNVDRAM",
+    "ViyojitConfig",
+    "ViyojitStats",
+    "DirtyTracker",
+    "UpdateHistory",
+    "PressureEstimator",
+    "Flusher",
+    "FineGrainViyojit",
+    "BlockTracker",
+    "BatteryBroker",
+    "TenantState",
+    "RebalanceReport",
+    "VictimPolicy",
+    "make_policy",
+    "POLICY_NAMES",
+    "CrashSimulator",
+    "CrashReport",
+    "RecoveryReport",
+    "full_backup_battery",
+    "viyojit_battery",
+]

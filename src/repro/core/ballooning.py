@@ -1,0 +1,182 @@
+"""Battery ballooning across co-located tenants (section 6.3).
+
+The paper: *"we make a case for such cloud providers to treat battery as
+a first class resource, much like DRAM itself.  In such a setting,
+tenants can buy battery capacity based on their expected workload and
+required performance.  Further, cloud providers can employ techniques
+similar to memory ballooning to reallocate battery/dirty-budget among
+co-located tenants to benefit from inherent statistical multiplexing
+effects."*
+
+:class:`BatteryBroker` implements that reallocation.  One physical
+battery backs several Viyojit tenants; the broker periodically measures
+each tenant's *demand* (current dirty footprint plus predicted dirty-page
+pressure) and moves budget from under-using tenants to bursting ones,
+subject to:
+
+* a guaranteed floor per tenant (the "purchased" battery share),
+* the safety invariant — the sum of effective budgets never exceeds what
+  the battery can flush, and budget taken from a tenant is only handed
+  out after that tenant has drained below its new bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.runtime import Viyojit
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+from repro.sim.events import Simulation
+
+
+@dataclass
+class TenantState:
+    """Broker-side record for one registered tenant."""
+
+    name: str
+    system: Viyojit
+    floor_pages: int
+    budget_pages: int
+    rebalances_gained: int = 0
+    rebalances_lost: int = 0
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalance pass did."""
+
+    budgets: Dict[str, int] = field(default_factory=dict)
+    demands: Dict[str, float] = field(default_factory=dict)
+    moved_pages: int = 0
+
+
+class BatteryBroker:
+    """Allocates one battery's dirty budget across Viyojit tenants."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        battery: Battery,
+        power_model: PowerModel,
+        page_size: int = 4096,
+    ) -> None:
+        self.sim = sim
+        self.battery = battery
+        self.power_model = power_model
+        self.page_size = int(page_size)
+        self._tenants: List[TenantState] = []
+
+    @property
+    def total_budget_pages(self) -> int:
+        """Pages the battery can flush right now (tracks degradation)."""
+        return self.power_model.dirty_budget_pages(self.battery, self.page_size)
+
+    @property
+    def tenants(self) -> List[TenantState]:
+        return list(self._tenants)
+
+    def allocated_pages(self) -> int:
+        return sum(tenant.budget_pages for tenant in self._tenants)
+
+    def register(self, name: str, system: Viyojit, floor_pages: int = 1) -> TenantState:
+        """Add a tenant with a guaranteed battery floor.
+
+        The initial allocation is the floor; the first rebalance spreads
+        the surplus by demand.
+        """
+        if floor_pages <= 0:
+            raise ValueError(f"floor_pages must be positive: {floor_pages}")
+        if any(tenant.name == name for tenant in self._tenants):
+            raise ValueError(f"tenant {name!r} already registered")
+        floors = sum(t.floor_pages for t in self._tenants) + floor_pages
+        if floors > self.total_budget_pages:
+            raise ValueError(
+                f"floors ({floors} pages) exceed battery capacity "
+                f"({self.total_budget_pages} pages)"
+            )
+        tenant = TenantState(
+            name=name, system=system, floor_pages=floor_pages,
+            budget_pages=floor_pages,
+        )
+        system.set_dirty_budget(floor_pages)
+        system.drain_to_budget()
+        self._tenants.append(tenant)
+        return tenant
+
+    def demand_of(self, tenant: TenantState) -> float:
+        """Demand signal: current footprint + predicted next-epoch burst."""
+        system = tenant.system
+        return system.tracker.count + system.pressure.pressure
+
+    def rebalance(self) -> RebalanceReport:
+        """One ballooning pass: floors first, surplus by demand.
+
+        Shrinking tenants drain *before* growing tenants receive, so at
+        every instant the sum of effective dirty bounds is covered by the
+        battery.
+        """
+        if not self._tenants:
+            return RebalanceReport()
+        total = self.total_budget_pages
+        floors = sum(tenant.floor_pages for tenant in self._tenants)
+        demands = {tenant.name: self.demand_of(tenant) for tenant in self._tenants}
+        demand_sum = sum(demands.values())
+
+        targets: Dict[str, int] = {}
+        if floors > total:
+            # The battery degraded below the sum of guarantees: scale the
+            # floors down proportionally (everyone keeps at least 1 page).
+            for tenant in self._tenants:
+                targets[tenant.name] = max(
+                    1, tenant.floor_pages * total // floors
+                )
+        else:
+            surplus = total - floors
+            remaining = surplus
+            for index, tenant in enumerate(self._tenants):
+                if demand_sum > 0:
+                    share = int(surplus * demands[tenant.name] / demand_sum)
+                else:
+                    share = surplus // len(self._tenants)
+                if index == len(self._tenants) - 1:
+                    share = remaining  # hand out the rounding remainder
+                share = min(share, remaining)
+                remaining -= share
+                targets[tenant.name] = tenant.floor_pages + share
+
+        report = RebalanceReport(budgets=dict(targets), demands=demands)
+
+        # Phase 1: shrink (and drain) tenants losing budget.
+        for tenant in self._tenants:
+            target = targets[tenant.name]
+            if target < tenant.budget_pages:
+                report.moved_pages += tenant.budget_pages - target
+                tenant.system.set_dirty_budget(target)
+                tenant.system.drain_to_budget()
+                tenant.budget_pages = target
+                tenant.rebalances_lost += 1
+        # Phase 2: grow the rest.
+        for tenant in self._tenants:
+            target = targets[tenant.name]
+            if target > tenant.budget_pages:
+                tenant.system.set_dirty_budget(target)
+                tenant.budget_pages = target
+                tenant.rebalances_gained += 1
+        return report
+
+    def total_dirty_pages(self) -> int:
+        return sum(tenant.system.tracker.count for tenant in self._tenants)
+
+    def survives_power_failure(self) -> bool:
+        """Can the shared battery flush every tenant's dirty data now?"""
+        dirty_bytes = sum(
+            tenant.system.dirty_bytes() for tenant in self._tenants
+        )
+        energy = self.power_model.energy_to_flush(dirty_bytes)
+        return energy <= self.battery.usable_joules
+
+    def on_battery_degraded(self) -> RebalanceReport:
+        """Section 8 meets ballooning: re-split the shrunken battery."""
+        return self.rebalance()

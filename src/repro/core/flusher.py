@@ -1,0 +1,138 @@
+"""Page flush engine: protect, write out, mark clean on completion.
+
+Implements the ordering that section 5.1 argues is essential for
+correctness: the target page is write-protected *before* its contents are
+written to secondary storage.  If a concurrent write lands while the IO is
+in flight it traps, and the fault handler waits for the flush to complete
+before re-dirtying the page — so the durable copy always corresponds to a
+page state that really existed, and marking the page clean at completion
+never loses an update.
+
+Both flush flavours go through :meth:`Flusher.issue`:
+
+* proactive flushes (epoch-driven, background),
+* synchronous evictions (fault handler at the budget).
+
+The page stays in the dirty set (and thus keeps consuming battery budget)
+until the SSD acknowledges the write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dirty_tracker import DirtyTracker
+from repro.core.stats import ViyojitStats
+from repro.mem.mmu import MMU
+from repro.mem.nvdram import NVDRAMRegion
+from repro.sim.events import Simulation
+from repro.storage.backing_store import BackingStore
+from repro.storage.ssd import SSD
+
+
+class Flusher:
+    """Issues page write-outs and applies their completions."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        mmu: MMU,
+        region: NVDRAMRegion,
+        ssd: SSD,
+        backing: BackingStore,
+        tracker: DirtyTracker,
+        stats: ViyojitStats,
+        max_outstanding: int = 16,
+        on_cleaned=None,
+        reducer=None,
+    ) -> None:
+        self.sim = sim
+        self.mmu = mmu
+        self.region = region
+        self.ssd = ssd
+        self.backing = backing
+        self.tracker = tracker
+        self.stats = stats
+        self.max_outstanding = int(max_outstanding)
+        self.on_cleaned = on_cleaned  # callback(pfn) after a flush lands
+        # Optional compression/dedup stage in front of the SSD (section 7).
+        self.reducer = reducer
+        # Optional hook: bytes to write for a page (sub-page tracking
+        # flushes only a page's dirty blocks; default = the whole page).
+        self.flush_bytes_of = None
+        self._inflight: Dict[int, int] = {}  # pfn -> completion time (ns)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._inflight)
+
+    def is_inflight(self, pfn: int) -> bool:
+        return pfn in self._inflight
+
+    def completion_time(self, pfn: int) -> Optional[int]:
+        return self._inflight.get(pfn)
+
+    def earliest_completion(self) -> Optional[int]:
+        if not self._inflight:
+            return None
+        return min(self._inflight.values())
+
+    def has_slot(self) -> bool:
+        return len(self._inflight) < self.max_outstanding
+
+    def issue(self, pfn: int, nbytes: Optional[int] = None) -> int:
+        """Start flushing ``pfn``; returns the CPU cost (ns) of issuing.
+
+        Sequence (section 5.1): write-protect the page (so concurrent
+        writes trap instead of racing the IO), snapshot its contents and
+        version, submit the SSD write, and schedule the completion that
+        will persist the snapshot and drop the page from the dirty set.
+
+        ``nbytes`` sizes the SSD IO (defaults to ``flush_bytes_of(pfn)``
+        when that hook is set, else the whole page); the durable snapshot
+        is always the full page image.
+        """
+        if pfn in self._inflight:
+            raise RuntimeError(f"page {pfn} is already being flushed")
+        if pfn not in self.tracker:
+            raise RuntimeError(f"page {pfn} is not dirty; nothing to flush")
+        if not self.has_slot():
+            raise RuntimeError(
+                f"flush queue full ({self.max_outstanding} outstanding)"
+            )
+        if nbytes is None:
+            if self.flush_bytes_of is not None:
+                nbytes = self.flush_bytes_of(pfn)
+            else:
+                nbytes = self.region.page_size
+        if not 0 < nbytes <= self.region.page_size:
+            raise ValueError(
+                f"flush size {nbytes} outside (0, {self.region.page_size}]"
+            )
+        cost = self.mmu.protect_page(pfn)
+        self.stats.pte_update_time_ns += cost
+        data = self.region.page_bytes(pfn)
+        version = int(self.region.page_version[pfn])
+        physical = nbytes
+        if self.reducer is not None:
+            reduced = self.reducer.process(data[:nbytes])
+            physical = max(1, reduced.physical_bytes)
+            cost += reduced.cpu_cost_ns
+        completion = self.ssd.submit_write(self.sim.now, physical)
+        self._inflight[pfn] = completion
+        self.stats.pages_flushed += 1
+        self.stats.bytes_flushed += nbytes
+
+        def complete() -> None:
+            self.backing.persist(pfn, data, version)
+            self.tracker.remove(pfn)
+            del self._inflight[pfn]
+            self.stats.flush_completions += 1
+            cleaned = getattr(self.mmu, "page_cleaned", None)
+            if cleaned is not None:
+                cleaned(pfn)
+            if self.on_cleaned is not None:
+                self.on_cleaned(pfn)
+
+        self.sim.schedule_at(completion, complete)
+        return cost

@@ -1,0 +1,94 @@
+"""Least-recently-updated victim selection (section 5.2).
+
+At every epoch boundary Viyojit walks the page table, reads and clears the
+dirty bits, and shifts each page's update history: bit *i* of the history
+word says whether the page was updated *i* epochs ago.  The paper keeps
+the last 64 epochs, which fits one uint64 per page.
+
+Victims for copying out are the *least recently updated* pages — the
+write-only analogue of LRU.  Pages are ordered by the epoch of their most
+recent observed update (older first); ties break toward pages updated in
+fewer of the remembered epochs (lower popcount), i.e. less write-popular
+pages go first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+_UINT64_ONE = np.uint64(1)
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element popcount of a uint64 array (vectorized, no Python loop)."""
+    view = values.view(np.uint8).reshape(values.shape + (8,))
+    return np.unpackbits(view, axis=-1).sum(axis=-1)
+
+
+class UpdateHistory:
+    """Per-page update recency over a sliding window of epochs."""
+
+    def __init__(self, num_pages: int, history_epochs: int = 64) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive: {num_pages}")
+        if not 1 <= history_epochs <= 64:
+            raise ValueError(f"history_epochs must be in [1, 64]: {history_epochs}")
+        self.num_pages = int(num_pages)
+        self.history_epochs = int(history_epochs)
+        self._history = np.zeros(self.num_pages, dtype=np.uint64)
+        # Epoch of the most recent observed update; -1 = never observed.
+        self._last_update = np.full(self.num_pages, -1, dtype=np.int64)
+        self._mask = (
+            np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+            if history_epochs == 64
+            else np.uint64((1 << history_epochs) - 1)
+        )
+        self.epoch = 0
+
+    def record_scan(self, updated_pfns: np.ndarray) -> None:
+        """Fold one epoch's dirty-bit scan results into the history.
+
+        ``updated_pfns`` are the pages whose dirty bit was set during the
+        epoch that just ended (the output of
+        :meth:`repro.mem.PageTable.scan_and_clear_dirty`).
+        """
+        self._history = (self._history << _UINT64_ONE) & self._mask
+        if len(updated_pfns):
+            self._history[updated_pfns] |= _UINT64_ONE
+            self._last_update[updated_pfns] = self.epoch
+        self.epoch += 1
+
+    def last_update_epoch(self, pfn: int) -> int:
+        """Epoch of the page's most recent observed update (-1 = never)."""
+        return int(self._last_update[pfn])
+
+    def update_count(self, pfn: int) -> int:
+        """In how many of the remembered epochs was the page updated?"""
+        return int(bin(int(self._history[pfn])).count("1"))
+
+    def coldest(self, candidates: Iterable[int], k: int) -> List[int]:
+        """The ``k`` least-recently-updated pages among ``candidates``.
+
+        Ordered oldest-update first; ties broken by ascending update count
+        (less write-popular first), then by page number for determinism.
+        """
+        pfns = np.fromiter(candidates, dtype=np.int64)
+        if len(pfns) == 0 or k <= 0:
+            return []
+        last = self._last_update[pfns]
+        counts = _popcount(self._history[pfns])
+        # lexsort keys: last key is primary.
+        order = np.lexsort((pfns, counts, last))
+        return [int(p) for p in pfns[order[: min(k, len(pfns))]]]
+
+    def hottest(self, candidates: Iterable[int], k: int) -> List[int]:
+        """The ``k`` most-recently-updated pages (diagnostics / tests)."""
+        pfns = np.fromiter(candidates, dtype=np.int64)
+        if len(pfns) == 0 or k <= 0:
+            return []
+        last = self._last_update[pfns]
+        counts = _popcount(self._history[pfns])
+        order = np.lexsort((pfns, -counts, -last))
+        return [int(p) for p in pfns[order[: min(k, len(pfns))]]]

@@ -1,0 +1,52 @@
+"""Dirty-page-pressure prediction (section 5.3).
+
+Viyojit must start copying pages *before* the dirty count reaches the
+budget, or a burst of first-writes will block behind synchronous SSD
+writes.  But copying too early wastes SSD bandwidth and wear.  The paper
+tunes the trigger threshold online:
+
+* Count the new dirty pages in each epoch (free — the page-table walk
+  already happens).
+* Predict next epoch's new-dirty count with an exponentially decaying
+  average: ``pressure = 0.75 * current + 0.25 * previous_prediction``.
+* Set ``threshold = dirty_budget - pressure`` so the expected burst can be
+  absorbed without reaching the budget.
+"""
+
+from __future__ import annotations
+
+
+class PressureEstimator:
+    """EWMA predictor of new-dirty-pages-per-epoch."""
+
+    def __init__(self, alpha: float = 0.75) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha}")
+        self.alpha = float(alpha)
+        self._prediction = 0.0
+        self.observations = 0
+
+    @property
+    def pressure(self) -> float:
+        """Predicted new dirty pages in the next epoch."""
+        return self._prediction
+
+    def observe(self, new_dirty_pages: int) -> float:
+        """Fold one epoch's observation in; returns the new prediction."""
+        if new_dirty_pages < 0:
+            raise ValueError(f"new_dirty_pages must be non-negative: {new_dirty_pages}")
+        self._prediction = (
+            self.alpha * new_dirty_pages + (1.0 - self.alpha) * self._prediction
+        )
+        self.observations += 1
+        return self._prediction
+
+    def threshold(self, dirty_budget_pages: int) -> int:
+        """Proactive-flush trigger: ``budget - pressure``, floored at 0.
+
+        When the dirty count exceeds this threshold, the background
+        flusher starts copying out cold pages.
+        """
+        if dirty_budget_pages <= 0:
+            raise ValueError(f"dirty_budget_pages must be positive: {dirty_budget_pages}")
+        return max(0, dirty_budget_pages - int(round(self._prediction)))

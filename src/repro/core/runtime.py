@@ -1,0 +1,609 @@
+"""The Viyojit runtime: mmap-like API + the Fig 6 fault-handler flow.
+
+This module is the paper's primary contribution.  One :class:`Viyojit`
+instance manages one NV-DRAM region under a dirty budget:
+
+1. At startup every page is write-protected (Fig 6, step 1).
+2. A store to a protected page faults (step 2/3).  The handler waits out
+   any in-flight flush of that page, makes room if the dirty set is at the
+   budget by synchronously evicting the least-recently-updated page
+   (steps 5-7), then unprotects the page and adds it to the dirty set
+   (steps 4/8).  The MMU retries the store, which now succeeds.
+3. Every ``epoch_ns`` of virtual time, the runtime flushes the TLB, walks
+   the page table reading+clearing dirty bits, folds the result into the
+   per-page update history, updates the EWMA dirty-page pressure, and
+   proactively flushes cold dirty pages whenever the dirty count exceeds
+   ``budget - pressure`` (sections 5.2-5.3).
+
+:class:`FullBatteryNVDRAM` is the evaluation baseline: same region, same
+MMU costs, but no protection, tracking, or flushing — it assumes a battery
+sized for the whole region.
+
+:class:`HardwareViyojit` is the section 5.4 variant: a hardware dirty-page
+counter removes per-first-write traps; budget enforcement happens via the
+threshold interrupt.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.config import ViyojitConfig
+from repro.core.dirty_tracker import DirtyTracker
+from repro.core.flusher import Flusher
+from repro.core.history import UpdateHistory
+from repro.core.pressure import PressureEstimator
+from repro.core.stats import ViyojitStats
+from repro.mem.machine import MachineModel
+from repro.mem.mmu import MMU, HardwareAssistedMMU
+from repro.mem.nvdram import NVDRAMRegion
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import TLB
+from repro.sim.events import Simulation
+from repro.storage.backing_store import BackingStore
+from repro.storage.ssd import SSD
+
+
+@dataclass
+class Mapping:
+    """A contiguous allocation returned by :meth:`NVDRAMSystem.mmap`."""
+
+    base_addr: int
+    size: int
+    base_page: int
+    num_pages: int
+    active: bool = True
+
+    def addr(self, offset: int) -> int:
+        """Absolute region address of ``offset`` within the mapping."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} out of mapping of size {self.size}")
+        return self.base_addr + offset
+
+
+class OutOfNVDRAM(Exception):
+    """Raised when an mmap request cannot be satisfied."""
+
+
+class NVDRAMSystem:
+    """Shared plumbing: region + MMU + allocator + data-path charging.
+
+    Subclasses define the write fault policy.  All methods that touch data
+    advance the simulation clock by the hardware costs of the touches, so
+    callers measure operation latency as a clock delta.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_pages: int,
+        machine: Optional[MachineModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine if machine is not None else MachineModel()
+        self.region = NVDRAMRegion(num_pages, self.machine.page_size)
+        self.page_table = PageTable(num_pages)
+        self.tlb = TLB(num_pages, self.machine.tlb_entries)
+        self.mmu = self._build_mmu()
+        self._next_page = 0
+        self._free_chunks: List[Tuple[int, int]] = []  # (base_page, num_pages)
+        self._started = False
+
+    def _build_mmu(self) -> MMU:
+        return MMU(self.page_table, self.tlb, self.machine)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Prepare the region for use.  Subclasses set protection policy."""
+        self._started = True
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("call start() before using the region")
+
+    # -- allocation (the mmap-like API of section 4.3) ---------------------
+
+    def mmap(self, size: int) -> Mapping:
+        """Allocate ``size`` bytes of NV-DRAM (rounded up to whole pages)."""
+        self._require_started()
+        if size <= 0:
+            raise ValueError(f"size must be positive: {size}")
+        pages_needed = -(-size // self.region.page_size)
+        base_page = self._allocate_pages(pages_needed)
+        mapping = Mapping(
+            base_addr=base_page * self.region.page_size,
+            size=size,
+            base_page=base_page,
+            num_pages=pages_needed,
+        )
+        self._on_mmap(mapping)
+        return mapping
+
+    def _allocate_pages(self, pages_needed: int) -> int:
+        for index, (base, count) in enumerate(self._free_chunks):
+            if count >= pages_needed:
+                if count == pages_needed:
+                    self._free_chunks.pop(index)
+                else:
+                    self._free_chunks[index] = (base + pages_needed, count - pages_needed)
+                return base
+        if self._next_page + pages_needed > self.region.num_pages:
+            raise OutOfNVDRAM(
+                f"need {pages_needed} pages, only "
+                f"{self.region.num_pages - self._next_page} contiguous pages left"
+            )
+        base = self._next_page
+        self._next_page += pages_needed
+        return base
+
+    def munmap(self, mapping: Mapping) -> None:
+        """Release a mapping.  Dirty pages are flushed first (durability)."""
+        self._require_started()
+        if not mapping.active:
+            raise ValueError("mapping already unmapped")
+        self._on_munmap(mapping)
+        mapping.active = False
+        self._free_chunks.append((mapping.base_page, mapping.num_pages))
+
+    def _on_mmap(self, mapping: Mapping) -> None:
+        """Subclass hook: set initial protection for new pages."""
+
+    def _on_munmap(self, mapping: Mapping) -> None:
+        """Subclass hook: drain dirty state before release."""
+
+    # -- data path ----------------------------------------------------------
+
+    def charge(self, cost_ns: int) -> None:
+        """Charge CPU time to the app thread (advances the clock).
+
+        Clients (e.g. the KV store) use this for work that happens outside
+        the memory system — command parsing, hashing, allocator logic.
+        """
+        self._advance(cost_ns)
+
+    def _advance(self, cost_ns: int) -> None:
+        self.sim.clock.advance(cost_ns)
+        self.sim.drain_due()
+
+    def _touch_read(self, pfn: int) -> None:
+        outcome = self.mmu.read_access(pfn)
+        self._advance(outcome.cost_ns)
+
+    def _touch_write(self, pfn: int) -> None:
+        """Resolve protection for a store to ``pfn``.
+
+        On the successful (final) access the clock is advanced WITHOUT
+        draining events: the caller must apply the store to the region
+        before any event may run, or a flush scheduled in between could
+        snapshot the page pre-store and mark it clean while the new data
+        never reaches durable media.  Callers follow the pattern::
+
+            self._touch_write(pfn)
+            self.region.write(...)   # atomic with the access
+            self.sim.drain_due()
+        """
+        while True:
+            outcome = self.mmu.write_access(pfn)
+            if not outcome.faulted:
+                self.sim.clock.advance(outcome.cost_ns)
+                return
+            self._advance(outcome.cost_ns)
+            self._handle_fault(pfn)
+
+    def _handle_fault(self, pfn: int) -> None:
+        raise NotImplementedError
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Load ``size`` bytes, charging MMU costs for each page touched."""
+        self._require_started()
+        for pfn in self.region.pages_of_range(addr, size):
+            self._touch_read(pfn)
+        return self.region.read(addr, size)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data``, faulting (and resolving) per protected page.
+
+        Each page's slice is applied immediately after its access
+        resolves, so no background flush can interleave between "page
+        became writable and dirty" and "the bytes actually landed".
+        """
+        self._require_started()
+        if not data:
+            return
+        cursor = addr
+        view = memoryview(data)
+        while view.nbytes > 0:
+            pfn = self.region.page_of(cursor)
+            offset = cursor % self.region.page_size
+            take = min(view.nbytes, self.region.page_size - offset)
+            self._touch_write(pfn)
+            self.region.write(cursor, bytes(view[:take]))
+            self.sim.drain_due()
+            cursor += take
+            view = view[take:]
+
+
+class FullBatteryNVDRAM(NVDRAMSystem):
+    """Baseline: conventional NV-DRAM with a battery for the whole region.
+
+    No write protection, no tracking, no flushing — every page may be
+    dirty because the battery can flush them all.  Pays only raw DRAM/TLB
+    costs, which is what the paper's "NV-DRAM" baseline curves measure.
+    """
+
+    def start(self) -> None:
+        self.page_table.write_protected[:] = False
+        super().start()
+
+    def _handle_fault(self, pfn: int) -> None:
+        raise AssertionError(
+            f"baseline NV-DRAM should never fault (page {pfn})"
+        )
+
+    def dirty_pages(self):
+        """Every ever-written page is potentially dirty in the baseline."""
+        return {pfn for pfn, _version in self.region.touched_pages()}
+
+
+class Viyojit(NVDRAMSystem):
+    """Dirty-budget-bounded NV-DRAM (the paper's system)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        num_pages: int,
+        config: ViyojitConfig,
+        ssd: Optional[SSD] = None,
+        backing: Optional[BackingStore] = None,
+        machine: Optional[MachineModel] = None,
+        reducer=None,
+    ) -> None:
+        super().__init__(sim, num_pages, machine)
+        if config.dirty_budget_pages > num_pages:
+            raise ValueError(
+                f"dirty budget of {config.dirty_budget_pages} pages exceeds "
+                f"region of {num_pages} pages — use the full-battery baseline"
+            )
+        self.config = config
+        self.ssd = ssd if ssd is not None else SSD()
+        self.backing = (
+            backing
+            if backing is not None
+            else BackingStore(num_pages, self.machine.page_size)
+        )
+        self.stats = ViyojitStats()
+        self.tracker = DirtyTracker(config.dirty_budget_pages)
+        self.history = UpdateHistory(num_pages, config.history_epochs)
+        self.pressure = PressureEstimator(config.pressure_alpha)
+        from repro.core.policies import make_policy
+
+        self.policy = make_policy(
+            config.victim_policy, history=self.history, seed=config.policy_seed
+        )
+        self.flusher = Flusher(
+            sim=sim,
+            mmu=self.mmu,
+            region=self.region,
+            ssd=self.ssd,
+            backing=self.backing,
+            tracker=self.tracker,
+            stats=self.stats,
+            max_outstanding=config.max_outstanding_io,
+            on_cleaned=self._on_flush_cleaned,
+            reducer=reducer,
+        )
+        self._victim_queue: Deque[int] = deque()
+        # Current proactive trigger (recomputed each epoch).  The copier
+        # is a continuous background thread in the paper, not an
+        # epoch-tick activity: completions refill the IO pipe immediately
+        # whenever the dirty count still exceeds the threshold.
+        self._proactive_threshold = config.dirty_budget_pages
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Fig 6 step 1: write-protect everything, start the epoch timer."""
+        self.page_table.protect_all()
+        self.tlb.flush_all()
+        super().start()
+        self.sim.schedule_after(self.config.epoch_ns, self._on_epoch)
+
+    def _on_mmap(self, mapping: Mapping) -> None:
+        # Freshly (re)allocated pages must trap on first write.
+        for pfn in range(mapping.base_page, mapping.base_page + mapping.num_pages):
+            if not self.page_table.is_write_protected(pfn):
+                cost = self.mmu.protect_page(pfn)
+                self._advance(cost)
+
+    def _on_munmap(self, mapping: Mapping) -> None:
+        # Flush the mapping's dirty pages so released NV-DRAM is durable.
+        for pfn in range(mapping.base_page, mapping.base_page + mapping.num_pages):
+            if self.flusher.is_inflight(pfn):
+                self._wait_until(self.flusher.completion_time(pfn))
+            elif pfn in self.tracker:
+                while not self.flusher.has_slot():
+                    self._wait_until(self.flusher.earliest_completion())
+                cost = self.flusher.issue(pfn)
+                self._advance(cost)
+                self._wait_until(self.flusher.completion_time(pfn) or self.sim.now)
+
+    # -- fault handling (Fig 6 steps 3-8) -------------------------------------
+
+    def _wait_until(self, when_ns: Optional[int]) -> None:
+        if when_ns is None or when_ns <= self.sim.now:
+            self.sim.drain_due()
+            return
+        before = self.sim.now
+        self.sim.run_until(when_ns)
+        self.stats.blocked_time_ns += self.sim.now - before
+
+    def _handle_fault(self, pfn: int) -> None:
+        self.stats.write_faults += 1
+        self.stats.trap_time_ns += self.machine.trap_cost_ns
+        self._advance(self.machine.trap_cost_ns)
+
+        # A write landed on a page whose flush is in flight: wait for the
+        # IO so the durable copy is a state that really existed, then
+        # re-dirty the page through the normal path (section 5.1).
+        if self.flusher.is_inflight(pfn):
+            self.stats.inflight_waits += 1
+            self._wait_until(self.flusher.completion_time(pfn))
+
+        # Make room: at the budget, the least-recently-updated dirty page
+        # is synchronously written out before this page may be dirtied.
+        while self.tracker.at_budget:
+            victim = self._next_victim()
+            if victim is None:
+                # Every dirty page is already in flight; the budget frees
+                # up as soon as the earliest IO completes.
+                self.stats.budget_waits += 1
+                self._wait_until(self.flusher.earliest_completion())
+                continue
+            if not self.flusher.has_slot():
+                self._wait_until(self.flusher.earliest_completion())
+                continue
+            issue_cost = self.flusher.issue(victim)
+            self._advance(issue_cost)
+            self.stats.sync_evictions += 1
+            self._wait_until(self.flusher.completion_time(victim))
+
+        cost = self.mmu.unprotect_page(pfn)
+        self.stats.pte_update_time_ns += cost
+        self._advance(cost)
+        self.tracker.add(pfn)
+        self.policy.note_dirtied(pfn)
+        self.stats.pages_dirtied += 1
+        self.stats.record_dirty_level(self.tracker.count)
+
+    # -- victim selection ------------------------------------------------------
+
+    def _rebuild_victim_queue(self) -> None:
+        candidates = [
+            pfn for pfn in self.tracker if not self.flusher.is_inflight(pfn)
+        ]
+        want = max(self.config.max_outstanding_io * 4, 64)
+        self._victim_queue = deque(self.policy.rank(candidates, want))
+
+    def _next_victim(self) -> Optional[int]:
+        while self._victim_queue:
+            pfn = self._victim_queue.popleft()
+            if pfn in self.tracker and not self.flusher.is_inflight(pfn):
+                return pfn
+        self._rebuild_victim_queue()
+        while self._victim_queue:
+            pfn = self._victim_queue.popleft()
+            if pfn in self.tracker and not self.flusher.is_inflight(pfn):
+                return pfn
+        return None
+
+    # -- the epoch timer (sections 5.2 and 5.3) ---------------------------------
+
+    def _on_epoch(self) -> None:
+        updated, scan_cost = self.mmu.epoch_scan(
+            flush_tlb=self.config.flush_tlb_on_scan
+        )
+        self.sim.clock.advance(scan_cost)
+        self.stats.epoch_scan_time_ns += scan_cost
+        self.policy.note_scan(updated, self.history.epoch)
+        self.history.record_scan(updated)
+        new_dirty = self.tracker.roll_epoch()
+        self.pressure.observe(new_dirty)
+        self._rebuild_victim_queue()
+        if self.config.proactive:
+            self._proactive_flush()
+        self.stats.epochs += 1
+        self.stats.record_dirty_level(self.tracker.count)
+        self.sim.schedule_after(self.config.epoch_ns, self._on_epoch)
+
+    def _proactive_flush(self) -> None:
+        self._proactive_threshold = self.pressure.threshold(
+            self.tracker.budget_pages
+        )
+        excess = (
+            self.tracker.count
+            - self.flusher.outstanding
+            - self._proactive_threshold
+        )
+        while excess > 0 and self.flusher.has_slot():
+            victim = self._next_victim()
+            if victim is None:
+                break
+            issue_cost = self.flusher.issue(victim)
+            self.sim.clock.advance(issue_cost)
+            self.stats.proactive_flushes += 1
+            excess -= 1
+
+    def _on_flush_cleaned(self, pfn: int) -> None:
+        """Flush completion: free the policy's record, refill the pipe.
+
+        The background copier keeps issuing while the dirty count sits
+        above the trigger threshold, so its drain rate is bounded by the
+        SSD, not by the epoch tick frequency.
+        """
+        self.policy.note_cleaned(pfn)
+        if not self.config.proactive or not self._started:
+            return
+        if (
+            self.tracker.count - self.flusher.outstanding
+            > self._proactive_threshold
+            and self.flusher.has_slot()
+        ):
+            victim = self._next_victim()
+            if victim is not None:
+                issue_cost = self.flusher.issue(victim)
+                self.sim.clock.advance(issue_cost)
+                self.stats.proactive_flushes += 1
+
+    # -- durability interface ----------------------------------------------------
+
+    @property
+    def dirty_count(self) -> int:
+        return self.tracker.count
+
+    @property
+    def dirty_budget_pages(self) -> int:
+        """The budget currently in force (initially ``config``'s value).
+
+        Mutable at runtime via :meth:`set_dirty_budget` — section 8's
+        battery-degradation handling and section 6.3's battery
+        ballooning both re-tune the budget while the system runs.
+        """
+        return self.tracker.budget_pages
+
+    def set_dirty_budget(self, pages: int) -> None:
+        """Re-tune the dirty budget (section 8 / ballooning).
+
+        Growing takes effect immediately.  Shrinking lowers the bound for
+        *new* dirtyings at once, but the battery is only safe for the new
+        budget after :meth:`drain_to_budget` brings the count down —
+        callers reassigning battery to another tenant must drain first.
+        """
+        if pages <= 0:
+            raise ValueError(f"budget must be positive: {pages}")
+        if pages > self.region.num_pages:
+            raise ValueError(
+                f"budget of {pages} pages exceeds region of "
+                f"{self.region.num_pages} pages"
+            )
+        self.tracker.budget_pages = int(pages)
+
+    def drain_to_budget(self) -> None:
+        """Flush cold pages until the dirty count fits the current budget."""
+        self._require_started()
+        while self.tracker.count > self.tracker.budget_pages:
+            victim = self._next_victim()
+            if victim is None or not self.flusher.has_slot():
+                earliest = self.flusher.earliest_completion()
+                if earliest is None:
+                    break
+                self._wait_until(earliest)
+                continue
+            cost = self.flusher.issue(victim)
+            self._advance(cost)
+        # Wait out the in-flight tail.
+        while self.tracker.count > self.tracker.budget_pages:
+            earliest = self.flusher.earliest_completion()
+            if earliest is None:
+                break
+            self._wait_until(earliest)
+
+    def dirty_pages(self):
+        """Pages whose durable copy is stale right now."""
+        return self.tracker.snapshot()
+
+    def dirty_bytes(self) -> int:
+        return self.tracker.count * self.region.page_size
+
+    def drain(self) -> None:
+        """Flush every dirty page and wait (controlled shutdown, section 8)."""
+        self._require_started()
+        while self.tracker.count or self.flusher.outstanding:
+            while self.flusher.has_slot():
+                victim = self._next_victim()
+                if victim is None:
+                    break
+                cost = self.flusher.issue(victim)
+                self._advance(cost)
+            earliest = self.flusher.earliest_completion()
+            if earliest is None:
+                break
+            self._wait_until(earliest)
+
+
+class HardwareViyojit(Viyojit):
+    """Section 5.4: MMU-offloaded dirty counting.
+
+    Pages are never write-protected for tracking; the MMU counts dirty-bit
+    0->1 transitions in hardware (shadow dirty bits preserve membership
+    across recency scans).  First writes cost nothing extra — only the
+    budget interrupt pays a trap, which is why the paper expects this
+    design to eradicate the tail-latency overheads.
+    """
+
+    def _build_mmu(self) -> MMU:
+        mmu = HardwareAssistedMMU(self.page_table, self.tlb, self.machine)
+        mmu.on_new_dirty = self._on_hardware_new_dirty  # type: ignore[attr-defined]
+        return mmu
+
+    def start(self) -> None:
+        super().start()
+        # No software write protection in this mode: stores never trap.
+        self.page_table.write_protected[:] = False
+        self.tlb.flush_all()
+
+    def _on_mmap(self, mapping: Mapping) -> None:
+        for pfn in range(mapping.base_page, mapping.base_page + mapping.num_pages):
+            self.page_table.write_protected[pfn] = False
+
+    def _handle_fault(self, pfn: int) -> None:
+        # Stores can still fault on pages the flusher protected mid-IO.
+        self.stats.write_faults += 1
+        self.stats.trap_time_ns += self.machine.trap_cost_ns
+        self._advance(self.machine.trap_cost_ns)
+        if self.flusher.is_inflight(pfn):
+            self.stats.inflight_waits += 1
+            self._wait_until(self.flusher.completion_time(pfn))
+        cost = self.mmu.unprotect_page(pfn)
+        self.stats.pte_update_time_ns += cost
+        self._advance(cost)
+        self._make_room()
+        self.tracker.add(pfn)
+        self.policy.note_dirtied(pfn)
+        self.stats.pages_dirtied += 1
+        self.stats.record_dirty_level(self.tracker.count)
+
+    def _make_room(self) -> None:
+        while self.tracker.at_budget:
+            victim = self._next_victim()
+            if victim is None:
+                self.stats.budget_waits += 1
+                self._wait_until(self.flusher.earliest_completion())
+                continue
+            if not self.flusher.has_slot():
+                self._wait_until(self.flusher.earliest_completion())
+                continue
+            issue_cost = self.flusher.issue(victim)
+            self._advance(issue_cost)
+            self.stats.sync_evictions += 1
+            self._wait_until(self.flusher.completion_time(victim))
+
+    def _on_hardware_new_dirty(self, pfn: int) -> None:
+        """Hardware counted a 0->1 dirty transition: sync the OS dirty set.
+
+        At the budget, the hardware raises the budget interrupt (one trap
+        charge) and the OS evicts before the store retires.
+        """
+        if pfn in self.tracker:
+            return
+        if self.tracker.at_budget:
+            # The budget interrupt is the only trap this mode ever pays.
+            self.stats.trap_time_ns += self.machine.trap_cost_ns
+            self._advance(self.machine.trap_cost_ns)
+            self._make_room()
+        self.tracker.add(pfn)
+        self.policy.note_dirtied(pfn)
+        self.stats.pages_dirtied += 1
+        self.stats.record_dirty_level(self.tracker.count)

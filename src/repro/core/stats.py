@@ -1,0 +1,60 @@
+"""Runtime counters for one Viyojit instance.
+
+These counters are the raw material for every evaluation figure: traps and
+TLB costs explain the tail latencies of Fig 8, sync-eviction blocking
+explains the throughput cliffs of Fig 7, and flushed bytes feed the SSD
+write rates of Fig 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ViyojitStats:
+    """Cumulative event counts and time charges (nanoseconds)."""
+
+    write_faults: int = 0
+    pages_dirtied: int = 0
+    sync_evictions: int = 0
+    proactive_flushes: int = 0
+    flush_completions: int = 0
+    epochs: int = 0
+    budget_waits: int = 0
+    inflight_waits: int = 0
+
+    trap_time_ns: int = 0
+    blocked_time_ns: int = 0
+    epoch_scan_time_ns: int = 0
+    pte_update_time_ns: int = 0
+
+    pages_flushed: int = 0
+    bytes_flushed: int = 0
+
+    peak_dirty_pages: int = 0
+    dirty_page_samples: list = field(default_factory=list, repr=False)
+
+    def record_dirty_level(self, count: int) -> None:
+        if count > self.peak_dirty_pages:
+            self.peak_dirty_pages = count
+
+    def summary(self) -> dict:
+        """Flat dict view for reporting tables."""
+        return {
+            "write_faults": self.write_faults,
+            "pages_dirtied": self.pages_dirtied,
+            "sync_evictions": self.sync_evictions,
+            "proactive_flushes": self.proactive_flushes,
+            "flush_completions": self.flush_completions,
+            "epochs": self.epochs,
+            "budget_waits": self.budget_waits,
+            "inflight_waits": self.inflight_waits,
+            "trap_time_ns": self.trap_time_ns,
+            "blocked_time_ns": self.blocked_time_ns,
+            "epoch_scan_time_ns": self.epoch_scan_time_ns,
+            "pte_update_time_ns": self.pte_update_time_ns,
+            "pages_flushed": self.pages_flushed,
+            "bytes_flushed": self.bytes_flushed,
+            "peak_dirty_pages": self.peak_dirty_pages,
+        }

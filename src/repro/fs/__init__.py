@@ -1,0 +1,27 @@
+"""A file system hosted on battery-backed NV-DRAM (the section 3 scenario).
+
+The paper's trace analysis assumes *"all volumes on a machine are instead
+hosted on NV-DRAM"* and singles out log-structured file systems as the
+adversarial case — every application write lands on a fresh NV-DRAM page,
+defeating write skew.  This package provides a working file system over
+an :class:`repro.core.NVDRAMSystem` so that scenario can be *run*, not
+just analyzed:
+
+:class:`NVMFileSystem`
+    Extent-based files, a flat root directory, all metadata NVM-resident
+    and crash-recoverable by walking the on-NVM structures.  Two write
+    policies:
+
+    * ``"in-place"`` — overwrite allocated pages (the skew-friendly case),
+    * ``"log-structured"`` — every write allocates fresh pages and
+      retires the old extents (the paper's worst case for dirty
+      budgeting).
+"""
+
+from repro.fs.filesystem import (
+    FileNotFound,
+    FileSystemFull,
+    NVMFileSystem,
+)
+
+__all__ = ["NVMFileSystem", "FileNotFound", "FileSystemFull"]

@@ -1,0 +1,360 @@
+"""Extent-based NVM file system (see package docstring).
+
+On-NVM layout, all within one :class:`repro.core.NVDRAMSystem`:
+
+``superblock`` mapping (one page)
+    ========  =====  ============================================
+    offset    bytes  field
+    ========  =====  ============================================
+    0         8      magic ``b"VIYOFS01"``
+    8         4      max files
+    12        4      data pages
+    16        4      write mode (0 = in-place, 1 = log-structured)
+    ========  =====  ============================================
+
+``inode table`` mapping: ``max_files`` fixed 128-byte slots
+    ========  =====  ============================================
+    offset    bytes  field
+    ========  =====  ============================================
+    0         1      used flag
+    1         47     file name (NUL-padded UTF-8)
+    48        8      file size in bytes
+    56        4      extent count
+    60        8*8    extents: (start_page u32, page_count u32) x 8
+    ========  =====  ============================================
+
+``data`` mapping: the file pages.
+
+Free-space state (a bitmap over data pages) lives in DRAM and is rebuilt
+at :meth:`NVMFileSystem.recover` time by walking the inode table — the
+same recovery-by-walk discipline as the KV store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.runtime import NVDRAMSystem
+
+MAGIC = b"VIYOFS01"
+INODE_SIZE = 128
+NAME_BYTES = 47
+MAX_EXTENTS = 8
+MODE_IN_PLACE = 0
+MODE_LOG_STRUCTURED = 1
+
+
+class FileNotFound(Exception):
+    """Raised when a named file does not exist."""
+
+
+class FileSystemFull(Exception):
+    """Raised when data pages or inode/extent slots run out."""
+
+
+class NVMFileSystem:
+    """A flat file system over battery-backed NV-DRAM."""
+
+    def __init__(
+        self,
+        system: NVDRAMSystem,
+        data_pages: int = 1024,
+        max_files: int = 128,
+        mode: str = "in-place",
+        _create: bool = True,
+    ) -> None:
+        if data_pages <= 0:
+            raise ValueError(f"data_pages must be positive: {data_pages}")
+        if max_files <= 0:
+            raise ValueError(f"max_files must be positive: {max_files}")
+        if mode not in ("in-place", "log-structured"):
+            raise ValueError(f"mode must be 'in-place' or 'log-structured': {mode}")
+        self.system = system
+        self.page_size = system.region.page_size
+        self.data_pages = int(data_pages)
+        self.max_files = int(max_files)
+        self.mode = mode
+
+        self.superblock = system.mmap(self.page_size)
+        self.inode_table = system.mmap(self.max_files * INODE_SIZE)
+        self.data = system.mmap(self.data_pages * self.page_size)
+
+        # DRAM-side state, rebuilt on recovery.
+        self._free = [True] * self.data_pages
+        self._names: Dict[str, int] = {}  # name -> inode index
+        # Log-structured mode appends: allocation rotates forward through
+        # the volume instead of reusing just-freed pages, which is what
+        # makes every write land on unique NV-DRAM pages (section 3's
+        # adversarial pattern).
+        self._alloc_cursor = 0
+
+        if _create:
+            mode_code = MODE_IN_PLACE if mode == "in-place" else MODE_LOG_STRUCTURED
+            system.write(self.superblock.base_addr, MAGIC)
+            system.write(self.superblock.addr(8), self.max_files.to_bytes(4, "little"))
+            system.write(self.superblock.addr(12), self.data_pages.to_bytes(4, "little"))
+            system.write(self.superblock.addr(16), mode_code.to_bytes(4, "little"))
+        else:
+            self._recover_state()
+
+    # -- recovery -------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        system: NVDRAMSystem,
+        data_pages: int = 1024,
+        max_files: int = 128,
+        mode: str = "in-place",
+    ) -> "NVMFileSystem":
+        """Re-open a file system whose image already lives in the region."""
+        return cls(system, data_pages, max_files, mode, _create=False)
+
+    def _recover_state(self) -> None:
+        if self.system.read(self.superblock.base_addr, 8) != MAGIC:
+            raise ValueError("bad filesystem magic: image is not an NVMFileSystem")
+        stored_files = int.from_bytes(
+            self.system.read(self.superblock.addr(8), 4), "little"
+        )
+        stored_pages = int.from_bytes(
+            self.system.read(self.superblock.addr(12), 4), "little"
+        )
+        if stored_files != self.max_files or stored_pages != self.data_pages:
+            raise ValueError(
+                f"geometry mismatch: stored ({stored_files} files, "
+                f"{stored_pages} pages), reopened with ({self.max_files}, "
+                f"{self.data_pages})"
+            )
+        for index in range(self.max_files):
+            inode = self._read_inode(index)
+            if inode is None:
+                continue
+            name, _size, extents = inode
+            self._names[name] = index
+            for start, count in extents:
+                for page in range(start, start + count):
+                    self._free[page] = False
+
+    # -- inode plumbing -----------------------------------------------------------
+
+    def _inode_addr(self, index: int) -> int:
+        return self.inode_table.addr(index * INODE_SIZE)
+
+    def _read_inode(
+        self, index: int
+    ) -> Optional[Tuple[str, int, List[Tuple[int, int]]]]:
+        base = self._inode_addr(index)
+        raw = self.system.read(base, INODE_SIZE)
+        if raw[0] == 0:
+            return None
+        name = raw[1 : 1 + NAME_BYTES].rstrip(b"\x00").decode("utf-8")
+        size = int.from_bytes(raw[48:56], "little")
+        extent_count = int.from_bytes(raw[56:60], "little")
+        extents = []
+        for slot in range(extent_count):
+            offset = 60 + slot * 8
+            start = int.from_bytes(raw[offset : offset + 4], "little")
+            count = int.from_bytes(raw[offset + 4 : offset + 8], "little")
+            extents.append((start, count))
+        return name, size, extents
+
+    def _write_inode(
+        self, index: int, name: str, size: int, extents: List[Tuple[int, int]]
+    ) -> None:
+        if len(extents) > MAX_EXTENTS:
+            raise FileSystemFull(
+                f"file {name!r} needs {len(extents)} extents; max {MAX_EXTENTS} "
+                f"(too fragmented)"
+            )
+        encoded = name.encode("utf-8")
+        if len(encoded) > NAME_BYTES:
+            raise ValueError(f"name too long ({len(encoded)} > {NAME_BYTES}): {name!r}")
+        blob = bytearray(INODE_SIZE)
+        blob[0] = 1
+        blob[1 : 1 + len(encoded)] = encoded
+        blob[48:56] = size.to_bytes(8, "little")
+        blob[56:60] = len(extents).to_bytes(4, "little")
+        for slot, (start, count) in enumerate(extents):
+            offset = 60 + slot * 8
+            blob[offset : offset + 4] = start.to_bytes(4, "little")
+            blob[offset + 4 : offset + 8] = count.to_bytes(4, "little")
+        self.system.write(self._inode_addr(index), bytes(blob))
+
+    def _clear_inode(self, index: int) -> None:
+        self.system.write(self._inode_addr(index), b"\x00")
+
+    # -- allocation ---------------------------------------------------------------
+
+    def _allocate_extent(self, pages_needed: int) -> List[Tuple[int, int]]:
+        """Allocate ``pages_needed`` pages as few contiguous extents.
+
+        In-place mode scans first-fit from page 0; log-structured mode
+        scans forward from a rotating cursor (append behaviour).
+        """
+        extents: List[Tuple[int, int]] = []
+        remaining = pages_needed
+        start_at = self._alloc_cursor if self.mode == "log-structured" else 0
+        scanned = 0
+        page = start_at
+        while remaining > 0 and scanned < self.data_pages:
+            if page >= self.data_pages:
+                page = 0
+            if not self._free[page]:
+                page += 1
+                scanned += 1
+                continue
+            run_start = page
+            run_length = 0
+            while (
+                page < self.data_pages
+                and self._free[page]
+                and run_length < remaining
+                and scanned < self.data_pages
+            ):
+                run_length += 1
+                page += 1
+                scanned += 1
+            extents.append((run_start, run_length))
+            remaining -= run_length
+        if remaining > 0:
+            # Nothing was marked yet, so a failed allocation is a no-op.
+            raise FileSystemFull(
+                f"need {pages_needed} pages, only "
+                f"{pages_needed - remaining} free"
+            )
+        for start, count in extents:
+            for p in range(start, start + count):
+                self._free[p] = False
+        if self.mode == "log-structured" and extents:
+            last_start, last_count = extents[-1]
+            self._alloc_cursor = (last_start + last_count) % self.data_pages
+        return extents
+
+    def _release_extents(self, extents: List[Tuple[int, int]]) -> None:
+        for start, count in extents:
+            for page in range(start, start + count):
+                self._free[page] = True
+
+    def _extent_page_addrs(self, extents: List[Tuple[int, int]]) -> Iterator[int]:
+        for start, count in extents:
+            for page in range(start, start + count):
+                yield self.data.addr(page * self.page_size)
+
+    # -- public API ----------------------------------------------------------------
+
+    def create(self, name: str) -> None:
+        """Create an empty file."""
+        if not name:
+            raise ValueError("name must be non-empty")
+        if name in self._names:
+            raise ValueError(f"file exists: {name!r}")
+        for index in range(self.max_files):
+            if self._read_inode(index) is None:
+                self._write_inode(index, name, 0, [])
+                self._names[name] = index
+                return
+        raise FileSystemFull(f"inode table full ({self.max_files} files)")
+
+    def exists(self, name: str) -> bool:
+        return name in self._names
+
+    def list_files(self) -> List[str]:
+        return sorted(self._names)
+
+    def stat(self, name: str) -> Tuple[int, int]:
+        """(size_bytes, allocated_pages) for ``name``."""
+        index = self._names.get(name)
+        if index is None:
+            raise FileNotFound(name)
+        _name, size, extents = self._read_inode(index)
+        return size, sum(count for _start, count in extents)
+
+    def write_file(self, name: str, offset: int, payload: bytes) -> None:
+        """Write ``payload`` at ``offset``, growing the file as needed.
+
+        In-place mode overwrites existing pages; log-structured mode
+        copies the whole file image to freshly allocated pages (old
+        extents are released) — every logical write touches unique
+        NV-DRAM pages, exactly the adversary of section 3.
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be non-negative: {offset}")
+        index = self._names.get(name)
+        if index is None:
+            raise FileNotFound(name)
+        _name, size, extents = self._read_inode(index)
+        new_size = max(size, offset + len(payload))
+        pages_needed = -(-new_size // self.page_size)
+
+        if self.mode == "log-structured":
+            current = self.read_file(name, 0, size) if size else b""
+            image = bytearray(current.ljust(new_size, b"\x00"))
+            image[offset : offset + len(payload)] = payload
+            new_extents = self._allocate_extent(pages_needed) if pages_needed else []
+            self._write_pages(new_extents, bytes(image))
+            self._write_inode(index, name, new_size, new_extents)
+            self._release_extents(extents)
+            return
+
+        allocated = sum(count for _start, count in extents)
+        if pages_needed > allocated:
+            extents = extents + self._allocate_extent(pages_needed - allocated)
+            self._write_inode(index, name, new_size, extents)
+        elif new_size != size:
+            self._write_inode(index, name, new_size, extents)
+        self._write_at(extents, offset, payload)
+
+    def _write_pages(self, extents: List[Tuple[int, int]], image: bytes) -> None:
+        cursor = 0
+        for addr in self._extent_page_addrs(extents):
+            chunk = image[cursor : cursor + self.page_size]
+            if chunk:
+                self.system.write(addr, chunk)
+            cursor += self.page_size
+
+    def _write_at(
+        self, extents: List[Tuple[int, int]], offset: int, payload: bytes
+    ) -> None:
+        addrs = list(self._extent_page_addrs(extents))
+        cursor = offset
+        view = memoryview(payload)
+        while view.nbytes > 0:
+            page_index = cursor // self.page_size
+            page_offset = cursor % self.page_size
+            take = min(view.nbytes, self.page_size - page_offset)
+            self.system.write(addrs[page_index] + page_offset, bytes(view[:take]))
+            cursor += take
+            view = view[take:]
+
+    def read_file(self, name: str, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset`` (clamped to the file size)."""
+        if offset < 0 or size < 0:
+            raise ValueError("offset and size must be non-negative")
+        index = self._names.get(name)
+        if index is None:
+            raise FileNotFound(name)
+        _name, file_size, extents = self._read_inode(index)
+        end = min(offset + size, file_size)
+        if end <= offset:
+            return b""
+        addrs = list(self._extent_page_addrs(extents))
+        out = bytearray()
+        cursor = offset
+        while cursor < end:
+            page_index = cursor // self.page_size
+            page_offset = cursor % self.page_size
+            take = min(end - cursor, self.page_size - page_offset)
+            out += self.system.read(addrs[page_index] + page_offset, take)
+            cursor += take
+        return bytes(out)
+
+    def delete(self, name: str) -> None:
+        index = self._names.pop(name, None)
+        if index is None:
+            raise FileNotFound(name)
+        _name, _size, extents = self._read_inode(index)
+        self._clear_inode(index)
+        self._release_extents(extents)
+
+    def free_pages(self) -> int:
+        return sum(self._free)

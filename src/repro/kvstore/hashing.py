@@ -1,0 +1,20 @@
+"""Deterministic hashing shared across the KV store and workloads.
+
+Python's built-in ``hash`` is randomized per process (PYTHONHASHSEED),
+which would make simulations non-reproducible; everything in this package
+hashes with FNV-1a instead.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a(data: bytes) -> int:
+    """64-bit FNV-1a hash of ``data``."""
+    value = _FNV_OFFSET
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return value

@@ -1,0 +1,279 @@
+"""Persistent skip list: the ordered index YCSB-E needs (paper future work).
+
+Section 6.1: *"We could not run YCSB-E because it requires cross key
+transactions which we do not support for now.  We wish to add this to our
+NV-DRAM based Redis in the future."*  YCSB-E's scan operation needs to
+read *consecutive* keys starting from a seed key, which the hash-table
+store cannot provide.  This module adds the missing piece: an NVM-resident
+skip list mapping keys to record addresses in sorted order, so scans walk
+level-0 links.
+
+On-NVM layout
+-------------
+``head`` mapping (one page)
+    ========  =====  =========================================
+    offset    bytes  field
+    ========  =====  =========================================
+    0         8      magic ``b"VIYOSKL1"``
+    8         4      max level
+    12        4      current level
+    16        8*max  head next-pointers (level 0 first)
+    ========  =====  =========================================
+
+nodes (allocated from the store's persistent heap)
+    ========  =====  =========================================
+    offset    bytes  field
+    ========  =====  =========================================
+    0         4      key length
+    4         4      level count L
+    8         8      record address (the hash store's record)
+    16        8*L    next-pointers (level 0 first)
+    16+8L     klen   key bytes
+    ========  =====  =========================================
+
+Node levels are derived deterministically from the key's FNV hash
+(geometric with p=1/2), so recovery needs no RNG state and the structure
+is reproducible.  Like the hash chains, the layout is self-describing:
+:func:`walk_sorted` parses a recovered image into the ordered key list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.core.runtime import NVDRAMSystem
+from repro.kvstore.hashing import fnv1a
+from repro.kvstore.heap import PersistentHeap
+
+MAGIC = b"VIYOSKL1"
+NULL = 0
+NODE_HEADER = 16
+DEFAULT_MAX_LEVEL = 16
+
+
+def node_level(key: bytes, max_level: int) -> int:
+    """Deterministic geometric level for ``key`` (1..max_level)."""
+    bits = fnv1a(b"level:" + key)
+    level = 1
+    while level < max_level and (bits & 1):
+        bits >>= 1
+        level += 1
+    return level
+
+
+class SortedIndex:
+    """NVM-resident skip list from key to record address."""
+
+    def __init__(
+        self,
+        system: NVDRAMSystem,
+        heap: PersistentHeap,
+        max_level: int = DEFAULT_MAX_LEVEL,
+        create: bool = True,
+    ) -> None:
+        if not 1 <= max_level <= 32:
+            raise ValueError(f"max_level must be in [1, 32]: {max_level}")
+        self.system = system
+        self.heap = heap
+        self.max_level = int(max_level)
+        self.head = system.mmap(16 + 8 * self.max_level)
+        self._len = 0
+        if create:
+            system.write(self.head.base_addr, MAGIC)
+            system.write(self.head.addr(8), self.max_level.to_bytes(4, "little"))
+            system.write(self.head.addr(12), (1).to_bytes(4, "little"))
+        else:
+            if system.read(self.head.base_addr, 8) != MAGIC:
+                raise ValueError("bad sorted-index magic during recovery")
+            stored = int.from_bytes(system.read(self.head.addr(8), 4), "little")
+            if stored != self.max_level:
+                raise ValueError(
+                    f"index max_level mismatch: stored {stored}, "
+                    f"expected {self.max_level}"
+                )
+
+    def recover_nodes(self) -> int:
+        """Walk level 0, adopting every node's heap block; returns count."""
+        count = 0
+        node = self._read_ptr(self._head_ptr_addr(0))
+        while node != NULL:
+            key_len, levels, _record = self._node_header(node)
+            self.heap.adopt(node, NODE_HEADER + 8 * levels + key_len)
+            count += 1
+            node = self._read_ptr(self._node_next_addr(node, 0))
+        self._len = count
+        return count
+
+    # -- low-level accessors -------------------------------------------------
+
+    def _head_ptr_addr(self, level: int) -> int:
+        return self.head.addr(16 + 8 * level)
+
+    def _read_ptr(self, addr: int) -> int:
+        return int.from_bytes(self.system.read(addr, 8), "little")
+
+    def _write_ptr(self, addr: int, value: int) -> None:
+        self.system.write(addr, value.to_bytes(8, "little"))
+
+    def _node_header(self, node: int) -> Tuple[int, int, int]:
+        raw = self.system.read(node, NODE_HEADER)
+        key_len = int.from_bytes(raw[0:4], "little")
+        levels = int.from_bytes(raw[4:8], "little")
+        record = int.from_bytes(raw[8:16], "little")
+        return key_len, levels, record
+
+    def _node_next_addr(self, node: int, level: int) -> int:
+        return node + NODE_HEADER + 8 * level
+
+    def _node_key(self, node: int, key_len: int) -> bytes:
+        _, levels, _ = self._node_header(node)
+        return self.system.read(node + NODE_HEADER + 8 * levels, key_len)
+
+    def _key_of(self, node: int) -> bytes:
+        key_len, levels, _record = self._node_header(node)
+        return self.system.read(node + NODE_HEADER + 8 * levels, key_len)
+
+    @property
+    def current_level(self) -> int:
+        return int.from_bytes(self.system.read(self.head.addr(12), 4), "little")
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- search ------------------------------------------------------------------
+
+    def _find_predecessors(self, key: bytes) -> List[int]:
+        """Per level: the address of the link to rewrite for ``key``.
+
+        Entry *i* is either a head-pointer address or a node's
+        next-pointer address whose target is the first node >= key at
+        level *i*.  The walk descends from the current top level,
+        carrying the predecessor node down (NULL = the head).
+        """
+        update: List[int] = [0] * self.max_level
+        pred = NULL
+        for lv in range(self.current_level - 1, -1, -1):
+            while True:
+                link_addr = (
+                    self._head_ptr_addr(lv)
+                    if pred == NULL
+                    else self._node_next_addr(pred, lv)
+                )
+                node = self._read_ptr(link_addr)
+                if node == NULL or self._key_of(node) >= key:
+                    break
+                pred = node
+            update[lv] = link_addr
+        for lv in range(self.current_level, self.max_level):
+            update[lv] = self._head_ptr_addr(lv)
+        return update
+
+    def find(self, key: bytes) -> Optional[int]:
+        """Record address for ``key``, or None."""
+        update = self._find_predecessors(key)
+        node = self._read_ptr(update[0])
+        if node == NULL:
+            return None
+        key_len, _levels, record = self._node_header(node)
+        if self._node_key(node, key_len) != key:
+            return None
+        return record
+
+    def find_ge(self, key: bytes) -> Optional[int]:
+        """The first node address with key >= ``key``, or None."""
+        update = self._find_predecessors(key)
+        node = self._read_ptr(update[0])
+        return node if node != NULL else None
+
+    # -- mutation ------------------------------------------------------------------
+
+    def insert(self, key: bytes, record_addr: int) -> None:
+        """Insert or update the index entry for ``key``."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        update = self._find_predecessors(key)
+        existing = self._read_ptr(update[0])
+        if existing != NULL:
+            key_len, _levels, _record = self._node_header(existing)
+            if self._node_key(existing, key_len) == key:
+                # Update in place: rewrite the record pointer.
+                self.system.write(
+                    existing + 8, record_addr.to_bytes(8, "little")
+                )
+                return
+        levels = node_level(key, self.max_level)
+        node = self.heap.alloc(NODE_HEADER + 8 * levels + len(key))
+        next_ptrs = b"".join(
+            self._read_ptr(update[lv]).to_bytes(8, "little")
+            for lv in range(levels)
+        )
+        blob = (
+            len(key).to_bytes(4, "little")
+            + levels.to_bytes(4, "little")
+            + record_addr.to_bytes(8, "little")
+            + next_ptrs
+            + key
+        )
+        self.system.write(node, blob)
+        for lv in range(levels):
+            self._write_ptr(update[lv], node)
+        if levels > self.current_level:
+            self.system.write(self.head.addr(12), levels.to_bytes(4, "little"))
+        self._len += 1
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True when it existed."""
+        update = self._find_predecessors(key)
+        node = self._read_ptr(update[0])
+        if node == NULL:
+            return False
+        key_len, levels, _record = self._node_header(node)
+        if self._node_key(node, key_len) != key:
+            return False
+        for lv in range(levels):
+            if self._read_ptr(update[lv]) == node:
+                self._write_ptr(
+                    update[lv], self._read_ptr(self._node_next_addr(node, lv))
+                )
+        self.heap.free(node)
+        self._len -= 1
+        return True
+
+    # -- scans (YCSB-E's operation) ---------------------------------------------------
+
+    def scan(self, start_key: bytes, count: int) -> List[Tuple[bytes, int]]:
+        """Up to ``count`` (key, record_addr) pairs with key >= start_key."""
+        if count <= 0:
+            raise ValueError(f"count must be positive: {count}")
+        out: List[Tuple[bytes, int]] = []
+        node = self.find_ge(start_key)
+        while node is not None and node != NULL and len(out) < count:
+            key_len, _levels, record = self._node_header(node)
+            out.append((self._node_key(node, key_len), record))
+            node = self._read_ptr(self._node_next_addr(node, 0))
+        return out
+
+    def keys(self) -> Iterator[bytes]:
+        """All keys in sorted order (walks level 0)."""
+        node = self._read_ptr(self._head_ptr_addr(0))
+        while node != NULL:
+            key_len, _levels, _record = self._node_header(node)
+            yield self._node_key(node, key_len)
+            node = self._read_ptr(self._node_next_addr(node, 0))
+
+
+def walk_sorted(
+    read: Callable[[int, int], bytes], head_addr: int
+) -> Iterator[Tuple[bytes, int]]:
+    """Parse a (recovered) image: yield (key, record_addr) in order."""
+    if read(head_addr, 8) != MAGIC:
+        raise ValueError("bad sorted-index magic")
+    node = int.from_bytes(read(head_addr + 16, 8), "little")
+    while node != NULL:
+        header = read(node, NODE_HEADER)
+        key_len = int.from_bytes(header[0:4], "little")
+        levels = int.from_bytes(header[4:8], "little")
+        record = int.from_bytes(header[8:16], "little")
+        key = read(node + NODE_HEADER + 8 * levels, key_len)
+        yield key, record
+        node = int.from_bytes(read(node + NODE_HEADER + 8 * 0, 8), "little")

@@ -1,0 +1,201 @@
+"""Simulated MMU: translation, protection faults, dirty-bit side effects.
+
+The MMU is the boundary between the application's loads/stores and the
+Viyojit runtime.  A write to a write-protected page produces a *faulted*
+outcome; the caller (the Viyojit runtime, playing the role of the paper's
+interrupt handler) resolves the fault and retries, exactly as the hardware
+retries the instruction after the handler returns (Fig 6, steps 2-8).
+
+Costs returned are in nanoseconds and cover only the hardware-visible part
+of each access (DRAM access, TLB miss walk).  Trap entry/exit and PTE
+manipulation costs are charged by the runtime because the baseline
+full-battery system never pays them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.mem.machine import MachineModel
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import TLB
+
+
+class WriteProtectionFault(Exception):
+    """Raised when a write hits a protected page and no handler is set."""
+
+    def __init__(self, pfn: int) -> None:
+        super().__init__(f"write-protection fault on page {pfn}")
+        self.pfn = pfn
+
+
+@dataclass
+class AccessOutcome:
+    """Result of one page access through the MMU.
+
+    Attributes
+    ----------
+    cost_ns:
+        Hardware time for the access (DRAM + TLB-walk charges).
+    faulted:
+        True when a write hit a write-protected page.  The access did not
+        complete; the caller must resolve the fault and retry.
+    newly_dirtied:
+        True when this write set the page's PTE dirty bit (i.e. it was the
+        first write through a clean translation since the last scan).
+    """
+
+    cost_ns: int
+    faulted: bool = False
+    newly_dirtied: bool = False
+
+
+class MMU:
+    """Software-managed MMU over one page table + TLB pair."""
+
+    def __init__(self, page_table: PageTable, tlb: TLB, machine: MachineModel) -> None:
+        if page_table.num_pages != tlb.num_pages:
+            raise ValueError(
+                f"page table covers {page_table.num_pages} pages "
+                f"but TLB covers {tlb.num_pages}"
+            )
+        self.page_table = page_table
+        self.tlb = tlb
+        self.machine = machine
+        self.read_accesses = 0
+        self.write_accesses = 0
+        self.faults = 0
+
+    def _translate_cost(self, pfn: int) -> int:
+        hit = self.tlb.lookup(pfn)
+        cost = self.machine.dram_access_cost_ns
+        if not hit:
+            cost += self.machine.tlb_miss_cost_ns
+        return cost
+
+    def read_access(self, pfn: int) -> AccessOutcome:
+        """A load: never faults (Viyojit never read-protects pages)."""
+        self.read_accesses += 1
+        return AccessOutcome(cost_ns=self._translate_cost(pfn))
+
+    def write_access(self, pfn: int) -> AccessOutcome:
+        """A store: faults when the page is write-protected.
+
+        On a successful store through a translation whose cached dirty flag
+        is clear, the PTE dirty bit is set and the flag cached — later
+        stores through the same cached translation leave the PTE untouched
+        (the stale-dirty-bit mechanism of section 6.3).
+        """
+        self.write_accesses += 1
+        cost = self._translate_cost(pfn)
+        if self.page_table.is_write_protected(pfn):
+            self.faults += 1
+            return AccessOutcome(cost_ns=cost, faulted=True)
+        newly_dirtied = False
+        if not self.tlb.dirty_cached(pfn):
+            self.page_table.set_dirty(pfn)
+            self.tlb.cache_dirty(pfn)
+            newly_dirtied = True
+        return AccessOutcome(cost_ns=cost, faulted=False, newly_dirtied=newly_dirtied)
+
+    # -- runtime-side PTE manipulation (the paper's kernel module) --------
+
+    def protect_page(self, pfn: int) -> int:
+        """Set write-protect + shoot down the translation; returns cost."""
+        self.page_table.protect(pfn)
+        self.tlb.invalidate(pfn)
+        return self.machine.pte_update_cost_ns
+
+    def unprotect_page(self, pfn: int) -> int:
+        """Clear write-protect + shoot down the translation; returns cost."""
+        self.page_table.unprotect(pfn)
+        self.tlb.invalidate(pfn)
+        return self.machine.pte_update_cost_ns
+
+    def epoch_scan(self, flush_tlb: bool = True):
+        """One epoch boundary: optional TLB flush, then walk + clear dirty bits.
+
+        Returns ``(updated_pfns, cost_ns)``.  With ``flush_tlb=False`` the
+        scan reads stale bits — pages whose translations sit in the TLB
+        with a cached dirty flag never re-mark their PTEs (the ablation the
+        paper reports in section 6.3).
+        """
+        cost = 0
+        if flush_tlb:
+            self.tlb.flush_all()
+            cost += self.machine.tlb_flush_cost(self.page_table.num_pages)
+        updated = self.page_table.scan_and_clear_dirty()
+        cost += self.machine.scan_cost(self.page_table.num_pages)
+        return updated, cost
+
+
+class HardwareAssistedMMU(MMU):
+    """The section 5.4 MMU: hardware-counted dirty pages, no write traps.
+
+    The MMU checks the dirty bit before setting it and increments a
+    hardware counter on 0→1 transitions; when the counter reaches the
+    OS-programmed threshold it raises an interrupt instead of trapping
+    every first write.  First writes therefore cost nothing extra; only
+    threshold crossings pay the trap cost (charged by the runtime when the
+    callback fires).
+
+    The shadow dirty bit (set alongside the dirty bit, cleared only by the
+    OS) lets the recency scan clear architectural dirty bits without losing
+    track of which pages are in the dirty set.
+    """
+
+    def __init__(self, page_table: PageTable, tlb: TLB, machine: MachineModel) -> None:
+        super().__init__(page_table, tlb, machine)
+        self.dirty_counter = 0
+        self.interrupt_threshold: Optional[int] = None
+        self.on_threshold: Optional[Callable[[int], None]] = None
+        # Fired *before* a 0->1 shadow-dirty transition commits, so the OS
+        # can make room under the budget before the store retires.
+        self.on_new_dirty: Optional[Callable[[int], None]] = None
+        self.interrupts_raised = 0
+
+    def set_threshold(self, threshold: Optional[int], callback: Optional[Callable[[int], None]]) -> None:
+        """Program the dirty-count threshold and its interrupt handler."""
+        if threshold is not None and threshold < 0:
+            raise ValueError(f"threshold must be non-negative: {threshold}")
+        self.interrupt_threshold = threshold
+        self.on_threshold = callback
+
+    def write_access(self, pfn: int) -> AccessOutcome:
+        """A store: counts 0→1 shadow-dirty transitions in hardware.
+
+        Stores only fault on pages the flusher write-protected mid-IO;
+        dirty tracking itself never traps.  The budget is enforced via the
+        ``on_new_dirty`` hook (which the runtime points at its eviction
+        path) and, optionally, the programmed threshold interrupt.
+        """
+        self.write_accesses += 1
+        cost = self._translate_cost(pfn)
+        if self.page_table.is_write_protected(pfn):
+            self.faults += 1
+            return AccessOutcome(cost_ns=cost, faulted=True)
+        newly_dirtied = False
+        if not self.tlb.dirty_cached(pfn):
+            first_time_dirty = not self.page_table.shadow_dirty[pfn]
+            if first_time_dirty and self.on_new_dirty is not None:
+                self.on_new_dirty(pfn)
+            self.page_table.set_dirty(pfn)
+            self.tlb.cache_dirty(pfn)
+            newly_dirtied = True
+            if first_time_dirty:
+                self.dirty_counter += 1
+                if (
+                    self.interrupt_threshold is not None
+                    and self.dirty_counter >= self.interrupt_threshold
+                    and self.on_threshold is not None
+                ):
+                    self.interrupts_raised += 1
+                    self.on_threshold(pfn)
+        return AccessOutcome(cost_ns=cost, faulted=False, newly_dirtied=newly_dirtied)
+
+    def page_cleaned(self, pfn: int) -> None:
+        """OS notification that a page was flushed: decrement the counter."""
+        if self.page_table.shadow_dirty[pfn]:
+            self.page_table.clear_shadow(pfn)
+            self.dirty_counter -= 1

@@ -1,0 +1,88 @@
+"""Simulated page table for one NV-DRAM region.
+
+Stores the architectural bits Viyojit manipulates — write-protect, dirty,
+and the section 5.4 shadow-dirty bit — as numpy boolean arrays indexed by
+page frame number.  The epoch scan ("page table walk" in the paper) is a
+vectorized read-and-clear over the dirty column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PageTable:
+    """Architectural per-page state for a region of ``num_pages`` pages.
+
+    The real kernel module in the paper flips PTE bits with locked RMW
+    instructions; the analogous operations here are plain array writes.
+    Cost accounting lives in :class:`repro.mem.mmu.MMU` and the Viyojit
+    runtime, not here — the page table is pure state.
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive: {num_pages}")
+        self.num_pages = int(num_pages)
+        self.write_protected = np.ones(self.num_pages, dtype=bool)
+        self.dirty = np.zeros(self.num_pages, dtype=bool)
+        # Section 5.4: a shadow dirty bit the hardware would set alongside
+        # the dirty bit, so the OS can clear the architectural bit for
+        # recency tracking without losing dirty-page information.
+        self.shadow_dirty = np.zeros(self.num_pages, dtype=bool)
+        self.walks = 0
+
+    def _check(self, pfn: int) -> None:
+        if not 0 <= pfn < self.num_pages:
+            raise IndexError(f"page frame {pfn} out of range [0, {self.num_pages})")
+
+    # -- write protection ------------------------------------------------
+
+    def is_write_protected(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.write_protected[pfn])
+
+    def protect(self, pfn: int) -> None:
+        """Set the write-protect bit (step 1 / step 6 of the paper's Fig 6)."""
+        self._check(pfn)
+        self.write_protected[pfn] = True
+
+    def unprotect(self, pfn: int) -> None:
+        """Clear the write-protect bit (step 8 of the paper's Fig 6)."""
+        self._check(pfn)
+        self.write_protected[pfn] = False
+
+    def protect_all(self) -> None:
+        """Write-protect every page — Viyojit startup (Fig 6 step 1)."""
+        self.write_protected[:] = True
+
+    def protected_count(self) -> int:
+        return int(self.write_protected.sum())
+
+    # -- dirty bits ------------------------------------------------------
+
+    def set_dirty(self, pfn: int) -> None:
+        """Hardware behaviour on a write through a clean translation."""
+        self._check(pfn)
+        self.dirty[pfn] = True
+        self.shadow_dirty[pfn] = True
+
+    def is_dirty(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.dirty[pfn])
+
+    def scan_and_clear_dirty(self) -> np.ndarray:
+        """One epoch-boundary page-table walk.
+
+        Returns the page frame numbers whose dirty bit was set, and clears
+        every dirty bit — exactly the paper's epoch mechanism (section 5.2).
+        The shadow bit is left alone; it belongs to the dirty-set tracker.
+        """
+        self.walks += 1
+        updated = np.flatnonzero(self.dirty)
+        self.dirty[:] = False
+        return updated
+
+    def clear_shadow(self, pfn: int) -> None:
+        self._check(pfn)
+        self.shadow_dirty[pfn] = False

@@ -1,0 +1,39 @@
+"""Battery and power substrate.
+
+Everything Viyojit needs to turn a provisioned battery into a dirty budget
+(section 5.1) and everything the motivation needs to show why full-DRAM
+battery backup does not scale (section 2.2, Fig 1):
+
+:class:`Battery`
+    Energy store with depth-of-discharge, datacenter-grade density derating
+    and aging — the multipliers the paper stacks up to reach "25x a
+    smartphone battery per server".
+:class:`PowerModel`
+    Component power draws + SSD flush bandwidth -> backup-time and
+    dirty-budget arithmetic.
+``repro.power.scaling``
+    Historical DRAM vs lithium density growth series behind Fig 1.
+"""
+
+from repro.power.aging import AgingModel, budget_trajectory
+from repro.power.battery import Battery
+from repro.power.economics import BatteryCostModel, FleetSpec, fleet_capex_rows
+from repro.power.power_model import PowerModel
+from repro.power.scaling import (
+    density_gap,
+    dram_growth_series,
+    lithium_growth_series,
+)
+
+__all__ = [
+    "Battery",
+    "PowerModel",
+    "AgingModel",
+    "budget_trajectory",
+    "BatteryCostModel",
+    "FleetSpec",
+    "fleet_capex_rows",
+    "dram_growth_series",
+    "lithium_growth_series",
+    "density_gap",
+]

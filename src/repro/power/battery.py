@@ -1,0 +1,103 @@
+"""Battery model with the derating factors of section 2.2.
+
+The paper's sizing argument stacks several multipliers on the raw energy
+requirement:
+
+* **Depth of discharge**: datacenter Li-ion cells are not discharged below
+  50% so they last 3-4 years, halving effective capacity.
+* **Density derating**: datacenter batteries use ~30% less dense material
+  to support higher power levels.
+* **Aging / environment**: capacity fades over time and fluctuates with
+  temperature; section 8 notes Viyojit can re-tune the dirty budget as the
+  battery degrades, which the :meth:`Battery.degrade` hook supports.
+
+A typical smartphone battery (2000 mAh at 3.7 V ~ 26.6 kJ) is the paper's
+unit of volume comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SMARTPHONE_BATTERY_JOULES = 2.0 * 3.7 * 3600  # 2000 mAh x 3.7 V = 26.64 kJ
+SMARTPHONE_ENERGY_DENSITY_J_PER_CM3 = 1_000.0  # ~ consumer Li-ion, 2015-era
+
+
+@dataclass
+class Battery:
+    """An energy store provisioned for NV-DRAM backup.
+
+    Parameters
+    ----------
+    nominal_joules:
+        Rated capacity of the installed cells.
+    depth_of_discharge:
+        Fraction of nominal capacity that may actually be drawn (0.5 for a
+        3-4 year datacenter service life).
+    density_derate:
+        Energy-density penalty of high-power datacenter cells relative to
+        consumer cells (0.7 = "30% less dense").
+    health:
+        Aging/environment factor in (0, 1]; shrinks via :meth:`degrade`.
+    """
+
+    nominal_joules: float
+    depth_of_discharge: float = 0.5
+    density_derate: float = 0.7
+    health: float = field(default=1.0)
+
+    def __post_init__(self) -> None:
+        if self.nominal_joules <= 0:
+            raise ValueError(f"nominal_joules must be positive: {self.nominal_joules}")
+        if not 0 < self.depth_of_discharge <= 1:
+            raise ValueError(f"depth_of_discharge must be in (0, 1]: {self.depth_of_discharge}")
+        if not 0 < self.density_derate <= 1:
+            raise ValueError(f"density_derate must be in (0, 1]: {self.density_derate}")
+        if not 0 < self.health <= 1:
+            raise ValueError(f"health must be in (0, 1]: {self.health}")
+
+    @property
+    def usable_joules(self) -> float:
+        """Energy actually available for a backup flush, after derating."""
+        return self.nominal_joules * self.depth_of_discharge * self.health
+
+    def degrade(self, fraction: float) -> None:
+        """Lose ``fraction`` of current health (wear or hot ambient).
+
+        Section 8: Viyojit reacts by shrinking the dirty budget at runtime
+        instead of disabling NV-DRAM.
+        """
+        if not 0 <= fraction < 1:
+            raise ValueError(f"fraction must be in [0, 1): {fraction}")
+        self.health *= 1.0 - fraction
+
+    def volume_cm3(self, consumer_density_j_per_cm3: float = SMARTPHONE_ENERGY_DENSITY_J_PER_CM3) -> float:
+        """Physical volume of the installed cells.
+
+        Datacenter cells store ``density_derate`` times the consumer energy
+        density, so the same nominal joules take proportionally more space.
+        """
+        if consumer_density_j_per_cm3 <= 0:
+            raise ValueError("density must be positive")
+        return self.nominal_joules / (consumer_density_j_per_cm3 * self.density_derate)
+
+    def smartphone_equivalents(self) -> float:
+        """Volume expressed in 'typical smartphone batteries' (paper 2.2)."""
+        phone_volume = SMARTPHONE_BATTERY_JOULES / SMARTPHONE_ENERGY_DENSITY_J_PER_CM3
+        return self.volume_cm3() / phone_volume
+
+    @classmethod
+    def for_usable_energy(
+        cls,
+        usable_joules: float,
+        depth_of_discharge: float = 0.5,
+        density_derate: float = 0.7,
+    ) -> "Battery":
+        """Provision a battery whose *usable* energy is ``usable_joules``."""
+        if usable_joules <= 0:
+            raise ValueError(f"usable_joules must be positive: {usable_joules}")
+        return cls(
+            nominal_joules=usable_joules / depth_of_discharge,
+            depth_of_discharge=depth_of_discharge,
+            density_derate=density_derate,
+        )

@@ -1,0 +1,97 @@
+"""Fleet-level battery economics (section 2.2's cost argument).
+
+The paper: *"batteries are not cheap.  Using our estimates, each server's
+battery may cost over 250$ while accounting for lithium, packaging,
+safety and charging circuitry, and maintenance overheads resulting in
+several million dollars increase in capital expenditure per data center.
+Battery disposal and carbon footprint costs are additional."*
+
+This module turns that argument into a parameterized model so the capex
+delta between full-backup and Viyojit provisioning can be computed for a
+fleet.  Defaults are calibrated so a full 4 TB backup battery costs ~$250
+per server, matching the paper's figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+
+
+@dataclass(frozen=True)
+class BatteryCostModel:
+    """Per-battery cost structure.
+
+    ``usd_per_kj`` covers the lithium cells; packaging/safety/charging
+    multiply the cell cost; maintenance and disposal are flat per battery
+    over its service life.
+    """
+
+    usd_per_kj: float = 0.26
+    packaging_multiplier: float = 1.9
+    maintenance_usd: float = 40.0
+    disposal_usd: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_kj <= 0:
+            raise ValueError(f"usd_per_kj must be positive: {self.usd_per_kj}")
+        if self.packaging_multiplier < 1:
+            raise ValueError(
+                f"packaging_multiplier must be >= 1: {self.packaging_multiplier}"
+            )
+        if self.maintenance_usd < 0 or self.disposal_usd < 0:
+            raise ValueError("flat costs must be non-negative")
+
+    def battery_cost_usd(self, battery: Battery) -> float:
+        """Total per-battery cost over its service life."""
+        cells = battery.nominal_joules / 1e3 * self.usd_per_kj
+        return (
+            cells * self.packaging_multiplier
+            + self.maintenance_usd
+            + self.disposal_usd
+        )
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A datacenter fleet to provision batteries for."""
+
+    servers: int = 50_000
+    nvdram_bytes_per_server: int = 4 * 1024**4
+
+    def __post_init__(self) -> None:
+        if self.servers <= 0:
+            raise ValueError(f"servers must be positive: {self.servers}")
+        if self.nvdram_bytes_per_server <= 0:
+            raise ValueError("nvdram_bytes_per_server must be positive")
+
+
+def fleet_capex_rows(
+    fleet: FleetSpec,
+    power_model: PowerModel,
+    cost_model: BatteryCostModel,
+    budget_fractions: List[float] = (1.0, 0.46, 0.23, 0.11),
+) -> List[dict]:
+    """Capex table: per-server and fleet battery cost per budget fraction."""
+    rows = []
+    full_battery = power_model.battery_for_dirty_bytes(
+        fleet.nvdram_bytes_per_server
+    )
+    full_cost = cost_model.battery_cost_usd(full_battery)
+    for fraction in budget_fractions:
+        battery = power_model.battery_for_dirty_bytes(
+            int(fleet.nvdram_bytes_per_server * fraction)
+        )
+        per_server = cost_model.battery_cost_usd(battery)
+        rows.append(
+            {
+                "budget_fraction": fraction,
+                "per_server_usd": round(per_server, 2),
+                "fleet_usd_millions": round(per_server * fleet.servers / 1e6, 2),
+                "saving_vs_full_pct": round((1 - per_server / full_cost) * 100, 1),
+            }
+        )
+    return rows

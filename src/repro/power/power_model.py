@@ -1,0 +1,86 @@
+"""Server power model: battery energy <-> dirty budget.
+
+Section 5.1: *"Using the peak power usage of different system components
+(CPU, DRAM, SSD, etc), we determine the amount of time the provisioned
+battery can support the entire system.  Multiplying this time with a
+conservative estimate of the SSD write bandwidth gives the dirty budget."*
+
+Section 2.2's worked example anchors the defaults: a 4 TB server flushing
+at 4 GB/s with a modest 300 W draw needs ~300 kJ — about 10x the volume of
+a smartphone battery before derating, 25x after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.battery import Battery
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Peak power draws (watts) during a battery-powered backup flush."""
+
+    cpu_watts: float = 120.0
+    dram_watts_per_gb: float = 0.03
+    dram_gb: float = 4096.0
+    ssd_watts: float = 25.0
+    other_watts: float = 32.1
+    ssd_flush_bandwidth_bytes_per_s: float = 4e9
+
+    def __post_init__(self) -> None:
+        for name in ("cpu_watts", "dram_watts_per_gb", "dram_gb", "ssd_watts", "other_watts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.ssd_flush_bandwidth_bytes_per_s <= 0:
+            raise ValueError("flush bandwidth must be positive")
+
+    @property
+    def system_watts(self) -> float:
+        """Total draw while flushing on battery."""
+        return (
+            self.cpu_watts
+            + self.dram_watts_per_gb * self.dram_gb
+            + self.ssd_watts
+            + self.other_watts
+        )
+
+    # -- flush arithmetic --------------------------------------------------
+
+    def flush_time_seconds(self, dirty_bytes: int) -> float:
+        """Time to write ``dirty_bytes`` to the SSD at conservative bandwidth."""
+        if dirty_bytes < 0:
+            raise ValueError(f"dirty_bytes must be non-negative: {dirty_bytes}")
+        return dirty_bytes / self.ssd_flush_bandwidth_bytes_per_s
+
+    def energy_to_flush(self, dirty_bytes: int) -> float:
+        """Joules consumed flushing ``dirty_bytes`` on battery power."""
+        return self.flush_time_seconds(dirty_bytes) * self.system_watts
+
+    def dirty_budget_bytes(self, battery: Battery) -> int:
+        """Largest dirty-data footprint the battery can flush (section 5.1)."""
+        supported_seconds = battery.usable_joules / self.system_watts
+        return int(supported_seconds * self.ssd_flush_bandwidth_bytes_per_s)
+
+    def dirty_budget_pages(self, battery: Battery, page_size: int = 4096) -> int:
+        """Dirty budget expressed in whole pages."""
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive: {page_size}")
+        return self.dirty_budget_bytes(battery) // page_size
+
+    def battery_for_dirty_bytes(
+        self,
+        dirty_bytes: int,
+        depth_of_discharge: float = 0.5,
+        density_derate: float = 0.7,
+    ) -> Battery:
+        """Smallest battery whose dirty budget covers ``dirty_bytes``."""
+        return Battery.for_usable_energy(
+            self.energy_to_flush(dirty_bytes),
+            depth_of_discharge=depth_of_discharge,
+            density_derate=density_derate,
+        )
+
+    def full_backup_energy(self, nvdram_bytes: int) -> float:
+        """Energy a conventional NV-DRAM system provisions: flush it all."""
+        return self.energy_to_flush(nvdram_bytes)

@@ -1,0 +1,99 @@
+"""DRAM vs lithium density growth series (paper Fig 1).
+
+The paper plots relative growth since 1990: DRAM capacity per rack unit of
+a high-end 1RU server grew by more than four orders of magnitude (>50,000x
+by ~2015), while Li-ion volumetric energy density only grew ~3.3x over the
+same 25 years, with bleak projections rooted in battery chemistry limits.
+
+The series below reconstruct those curves.  DRAM points track typical
+high-end 1RU server memory (4 MB-class in 1990 through 4 TB in ~2016,
+projected onward); lithium points track phone-sized cell energy density
+(~200 Wh/l in 1991 to ~670 Wh/l mid-2010s, projected to ~3.8x by 2020).
+Absolute calibration follows the paper's stated anchors: 3.3x lithium over
+25 years, >5e4x DRAM, with the gap still widening in projection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# (year, relative growth since 1990).  DRAM: GB per rack unit, normalized.
+_DRAM_GROWTH: List[Tuple[int, float]] = [
+    (1990, 1.0),        # ~16 MB high-end 1RU server
+    (1995, 8.0),        # ~128 MB
+    (2000, 64.0),       # ~1 GB
+    (2005, 1.0e3),      # ~16 GB
+    (2010, 8.0e3),      # ~128 GB
+    (2015, 5.5e4),      # ~1-4 TB LRDIMM era (paper: >50,000x)
+    (2020, 2.5e5),      # projected
+]
+
+# Lithium: joules per unit volume of a phone-sized cell, normalized.
+_LITHIUM_GROWTH: List[Tuple[int, float]] = [
+    (1990, 1.0),
+    (1995, 1.35),
+    (2000, 1.75),
+    (2005, 2.2),
+    (2010, 2.7),
+    (2015, 3.3),        # paper: 3.3x in 25 years
+    (2020, 3.8),        # projected
+]
+
+
+def dram_growth_series() -> List[Tuple[int, float]]:
+    """(year, relative DRAM GB/RU growth since 1990) sample points."""
+    return list(_DRAM_GROWTH)
+
+
+def lithium_growth_series() -> List[Tuple[int, float]]:
+    """(year, relative Li-ion J/volume growth since 1990) sample points."""
+    return list(_LITHIUM_GROWTH)
+
+
+def _interpolate(series: List[Tuple[int, float]], year: int) -> float:
+    """Log-linear interpolation between sample points (growth is geometric)."""
+    import math
+
+    if year <= series[0][0]:
+        return series[0][1]
+    if year >= series[-1][0]:
+        return series[-1][1]
+    for (y0, v0), (y1, v1) in zip(series, series[1:]):
+        if y0 <= year <= y1:
+            frac = (year - y0) / (y1 - y0)
+            return math.exp(math.log(v0) + frac * (math.log(v1) - math.log(v0)))
+    raise AssertionError("unreachable: year inside series bounds")
+
+
+def dram_growth(year: int) -> float:
+    """Relative DRAM density growth at ``year`` (1.0 at 1990)."""
+    return _interpolate(_DRAM_GROWTH, year)
+
+
+def lithium_growth(year: int) -> float:
+    """Relative lithium density growth at ``year`` (1.0 at 1990)."""
+    return _interpolate(_LITHIUM_GROWTH, year)
+
+
+def density_gap(year: int) -> float:
+    """How far DRAM growth has outpaced lithium growth by ``year``.
+
+    The widening of this ratio is the whole motivation for decoupling
+    battery capacity from DRAM capacity.
+    """
+    return dram_growth(year) / lithium_growth(year)
+
+
+def figure1_rows() -> List[Dict[str, float]]:
+    """The Fig 1 data as printable rows: year, DRAM, lithium, gap."""
+    rows = []
+    for year, dram in _DRAM_GROWTH:
+        rows.append(
+            {
+                "year": year,
+                "dram_growth": dram,
+                "lithium_growth": lithium_growth(year),
+                "gap": density_gap(year),
+            }
+        )
+    return rows

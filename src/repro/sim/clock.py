@@ -1,0 +1,75 @@
+"""Virtual clock used by every simulated component.
+
+All times in the simulator are integer nanoseconds.  Integers keep the
+simulation exactly deterministic (no floating-point drift when summing many
+small charges) and are plenty of range: 2**63 ns is ~292 years.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_SEC = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * NS_PER_US)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * NS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * NS_PER_SEC)
+
+
+class SimClock:
+    """A monotonic virtual clock.
+
+    The clock only moves forward.  Components charge time by calling
+    :meth:`advance`; schedulers jump to event timestamps with
+    :meth:`advance_to`.
+
+    >>> clock = SimClock()
+    >>> clock.advance(us(3))
+    3000
+    >>> clock.now
+    3000
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError(f"clock cannot start at negative time: {start_ns}")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current virtual time in (float) seconds, for reporting."""
+        return self._now / NS_PER_SEC
+
+    def advance(self, delta_ns: int) -> int:
+        """Move the clock forward by ``delta_ns`` and return the new time."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot advance clock backwards: {delta_ns}")
+        self._now += int(delta_ns)
+        return self._now
+
+    def advance_to(self, when_ns: int) -> int:
+        """Jump forward to an absolute timestamp (no-op if in the past)."""
+        if when_ns > self._now:
+            self._now = int(when_ns)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now}ns)"

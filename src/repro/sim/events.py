@@ -1,0 +1,144 @@
+"""Timestamped event queue driving the simulation.
+
+The Viyojit runtime has two asynchronous activities that happen "behind"
+the application's back: epoch boundaries (page-table dirty-bit scans) and
+SSD IO completions (proactive flushes finishing).  In the real system these
+are a timer thread and device interrupts; here they are events on a
+priority queue that the experiment runner drains whenever the application
+clock passes an event's timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.sim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class Event:
+    """A callback scheduled at an absolute virtual time.
+
+    Events compare by ``(when_ns, seq)`` so that simultaneous events fire
+    in the order they were scheduled — important for determinism.
+    """
+
+    when_ns: int
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by timestamp then FIFO."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._cancelled: set = set()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when_ns: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at absolute time ``when_ns``."""
+        if when_ns < 0:
+            raise ValueError(f"cannot schedule event at negative time: {when_ns}")
+        event = Event(when_ns=int(when_ns), seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, (event.when_ns, event.seq, event))
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (lazily removed on pop)."""
+        self._cancelled.add((event.when_ns, event.seq))
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the earliest pending event, or ``None`` if empty."""
+        while self._heap:
+            when, seq, _event = self._heap[0]
+            if (when, seq) in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard((when, seq))
+                continue
+            return when
+        return None
+
+    def pop_due(self, now_ns: int) -> Optional[Event]:
+        """Pop the earliest event with timestamp <= ``now_ns``, if any."""
+        while self._heap:
+            when, seq, event = self._heap[0]
+            if (when, seq) in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard((when, seq))
+                continue
+            if when > now_ns:
+                return None
+            heapq.heappop(self._heap)
+            return event
+        return None
+
+
+class Simulation:
+    """A clock plus an event queue: the spine of one experiment.
+
+    Every simulated device (MMU, SSD, Viyojit runtime) holds a reference to
+    one :class:`Simulation` and charges time / schedules completions
+    through it.
+
+    The central method is :meth:`run_until`: it fires all events whose
+    timestamps have been passed by the application clock, in timestamp
+    order, letting background activity (epoch scans, flush completions)
+    interleave deterministically with foreground work.
+    """
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self.clock = SimClock(start_ns)
+        self.events = EventQueue()
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    def schedule_at(self, when_ns: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute virtual time ``when_ns``."""
+        return self.events.schedule(when_ns, action)
+
+    def schedule_after(self, delta_ns: int, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delta_ns`` after the current time."""
+        return self.events.schedule(self.clock.now + delta_ns, action)
+
+    def drain_due(self) -> int:
+        """Fire every event due at or before the current clock time.
+
+        Returns the number of events fired.  Events may schedule further
+        events; those fire too if they are already due.
+        """
+        fired = 0
+        while True:
+            event = self.events.pop_due(self.clock.now)
+            if event is None:
+                return fired
+            event.action()
+            fired += 1
+
+    def run_until(self, when_ns: int) -> int:
+        """Advance to ``when_ns``, firing due events *in timestamp order*.
+
+        Unlike ``clock.advance_to(t); drain_due()``, this steps the clock
+        event by event so an event's action observes the virtual time at
+        which it logically fires.
+        """
+        fired = 0
+        while True:
+            next_time = self.events.peek_time()
+            if next_time is None or next_time > when_ns:
+                break
+            self.clock.advance_to(next_time)
+            event = self.events.pop_due(self.clock.now)
+            if event is not None:
+                event.action()
+                fired += 1
+        self.clock.advance_to(when_ns)
+        return fired

@@ -1,0 +1,21 @@
+"""Simulated persistent-storage substrate.
+
+The paper's evaluation machine exposes a 280 GB SSD rated at 625 K-IOPS
+(section 6.1) and bounds Viyojit to 16 outstanding IO requests.  This
+package models that device:
+
+:class:`SSD`
+    Virtual-time block device with a bounded number of concurrent service
+    slots, per-IO latency plus bandwidth-proportional transfer time, and
+    wear accounting (bytes written / program-erase cycles) used by the
+    portability discussion (sections 4.3 and 6.3, Fig 9).
+:class:`BackingStore`
+    The persistent page-granular image of an NV-DRAM region: which version
+    of each page has reached durable media.  Durability proofs compare the
+    region against this store.
+"""
+
+from repro.storage.backing_store import BackingStore
+from repro.storage.ssd import SSD, SSDStats
+
+__all__ = ["SSD", "SSDStats", "BackingStore"]

@@ -1,0 +1,99 @@
+"""Workload generation and trace analysis.
+
+Two families of workloads drive the paper's evaluation:
+
+* **YCSB** (section 6): workloads A/B/C/D/F from the Yahoo! Cloud Serving
+  Benchmark, with the standard zipfian/latest request distributions —
+  :mod:`repro.workloads.ycsb` and :mod:`repro.workloads.distributions`.
+* **Datacenter traces** (section 3): file-system traces of four Microsoft
+  production applications.  The originals are proprietary, so
+  :mod:`repro.workloads.traces` generates synthetic per-volume traces
+  calibrated to the write-fraction and skew classes the paper reports,
+  and :mod:`repro.workloads.analysis` reproduces the paper's three
+  analyses (worst-interval write fraction, skew percentiles vs touched
+  and vs total pages, and the zipf-scaling argument of Fig 5).
+"""
+
+from repro.workloads.distributions import (
+    CounterGenerator,
+    HotspotGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import (
+    Operation,
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_E,
+    YCSB_F,
+    YCSB_WORKLOADS,
+    generate_operations,
+    load_operations,
+    make_key,
+)
+from repro.workloads.traces import (
+    APPLICATIONS,
+    VolumeSpec,
+    VolumeTrace,
+    application_volumes,
+    generate_volume_trace,
+    scaled_spec,
+)
+from repro.workloads.analysis import (
+    interval_write_fractions,
+    pages_for_write_percentile,
+    skew_percentiles,
+    worst_interval_fraction,
+    write_fraction_of_volume,
+    zipf_page_fraction,
+    zipf_scaling_table,
+)
+from repro.workloads.trace_io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "LatestGenerator",
+    "UniformGenerator",
+    "HotspotGenerator",
+    "CounterGenerator",
+    "Operation",
+    "WorkloadSpec",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_D",
+    "YCSB_E",
+    "YCSB_F",
+    "YCSB_WORKLOADS",
+    "generate_operations",
+    "load_operations",
+    "make_key",
+    "VolumeSpec",
+    "VolumeTrace",
+    "APPLICATIONS",
+    "application_volumes",
+    "generate_volume_trace",
+    "scaled_spec",
+    "interval_write_fractions",
+    "worst_interval_fraction",
+    "write_fraction_of_volume",
+    "pages_for_write_percentile",
+    "skew_percentiles",
+    "zipf_page_fraction",
+    "zipf_scaling_table",
+    "save_trace_npz",
+    "load_trace_npz",
+    "save_trace_csv",
+    "load_trace_csv",
+]

@@ -1,0 +1,143 @@
+"""Trace analyses behind the paper's Figs 2-5 (section 3).
+
+Three analyses, matching the paper's methodology exactly:
+
+**Worst-interval write fraction (Fig 2).**  Slice the trace into intervals
+of a given length; within each interval, adversarially assume every write
+lands on a unique NV-DRAM page (the log-structured-file-system worst
+case), and report the worst interval's written data as a fraction of the
+volume size.
+
+**Skew percentiles (Figs 3-4).**  Count writes per logical page over the
+whole trace; find the minimum number of pages covering 90/95/99% of all
+writes; report it as a fraction of pages *touched* (read or written —
+Fig 3) and of *total* volume pages (Fig 4).
+
+**Zipf scaling (Fig 5).**  For a pure Zipf write distribution, the
+fraction of pages needed to cover a fixed percentile of writes shrinks as
+the total page count grows — the analytical argument that decoupling gets
+*more* attractive as NV-DRAM grows.  Computed exactly from the harmonic
+weights rather than by sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.workloads.traces import VolumeTrace
+
+DEFAULT_PERCENTILES = (0.90, 0.95, 0.99)
+
+
+def interval_write_fractions(
+    trace: VolumeTrace, interval_ns: int
+) -> np.ndarray:
+    """Per-interval written data as a fraction of volume size (Fig 2).
+
+    Each write is counted as one unique page (the paper's conservative
+    assumption), and a fraction may exceed 1.0 for very hot intervals —
+    the paper's Cosmos panel reaches 80% per hour on average-size volumes.
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval_ns must be positive: {interval_ns}")
+    duration = trace.spec.duration_ns
+    edges = np.arange(0, duration + interval_ns, interval_ns)
+    counts, _ = np.histogram(trace.write_times, bins=edges)
+    return counts / trace.spec.num_pages
+
+
+def worst_interval_fraction(trace: VolumeTrace, interval_ns: int) -> float:
+    """The Fig 2 metric: the worst interval's write fraction."""
+    fractions = interval_write_fractions(trace, interval_ns)
+    return float(fractions.max()) if len(fractions) else 0.0
+
+
+def pages_for_write_percentile(
+    write_counts: np.ndarray, percentile: float
+) -> int:
+    """Minimum number of pages covering ``percentile`` of all writes."""
+    if not 0 < percentile <= 1:
+        raise ValueError(f"percentile must be in (0, 1]: {percentile}")
+    if write_counts.sum() == 0:
+        return 0
+    ordered = np.sort(write_counts[write_counts > 0])[::-1]
+    cumulative = np.cumsum(ordered)
+    target = percentile * cumulative[-1]
+    return int(np.searchsorted(cumulative, target, side="left")) + 1
+
+
+def skew_percentiles(
+    trace: VolumeTrace,
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+) -> Dict[float, Dict[str, float]]:
+    """Figs 3-4: page fractions covering each write percentile.
+
+    Returns ``{percentile: {"of_touched": ..., "of_total": ...}}``.
+    """
+    writes = trace.writes
+    counts = np.bincount(writes, minlength=trace.spec.num_pages) if len(writes) else (
+        np.zeros(trace.spec.num_pages, dtype=np.int64)
+    )
+    touched = trace.touched_pages
+    total = trace.spec.num_pages
+    result: Dict[float, Dict[str, float]] = {}
+    for pct in percentiles:
+        needed = pages_for_write_percentile(counts, pct)
+        result[pct] = {
+            "of_touched": needed / touched if touched else 0.0,
+            "of_total": needed / total,
+        }
+    return result
+
+
+def zipf_page_fraction(
+    total_pages: int, percentile: float, theta: float = 0.99
+) -> float:
+    """Exact fraction of pages covering ``percentile`` of Zipf writes.
+
+    Under Zipf with parameter ``theta``, page ranked *i* receives weight
+    1/i^theta.  Returns k/total_pages for the smallest k whose cumulative
+    weight reaches the percentile.
+    """
+    if total_pages <= 0:
+        raise ValueError(f"total_pages must be positive: {total_pages}")
+    if not 0 < percentile <= 1:
+        raise ValueError(f"percentile must be in (0, 1]: {percentile}")
+    if theta <= 0:
+        raise ValueError(f"theta must be positive: {theta}")
+    weights = 1.0 / np.power(np.arange(1, total_pages + 1, dtype=np.float64), theta)
+    cumulative = np.cumsum(weights)
+    target = percentile * cumulative[-1]
+    k = int(np.searchsorted(cumulative, target, side="left")) + 1
+    return k / total_pages
+
+
+def zipf_scaling_table(
+    page_counts: Iterable[int],
+    percentiles: Sequence[float] = DEFAULT_PERCENTILES,
+    theta: float = 0.99,
+) -> List[Dict[str, float]]:
+    """Fig 5 rows: page fraction per write percentile vs total page count.
+
+    The defining property (asserted by the tests): every percentile's
+    fraction is monotonically non-increasing in the page count.
+    """
+    rows: List[Dict[str, float]] = []
+    for pages in page_counts:
+        row: Dict[str, float] = {"total_pages": float(pages)}
+        for pct in percentiles:
+            row[f"fraction_at_{int(pct * 100)}"] = zipf_page_fraction(
+                pages, pct, theta
+            )
+        rows.append(row)
+    return rows
+
+
+def write_fraction_of_volume(trace: VolumeTrace) -> float:
+    """Distinct pages written over the trace / total volume pages."""
+    writes = trace.writes
+    if len(writes) == 0:
+        return 0.0
+    return len(np.unique(writes)) / trace.spec.num_pages

@@ -1,0 +1,123 @@
+"""Trace persistence: save/load volume traces for offline analysis.
+
+The paper's section 3 pipeline — collect file-system traces, analyze
+write fractions and skew, size the battery — needs traces as files.  Two
+formats:
+
+* ``.npz`` (numpy archive): compact binary for round-tripping the
+  synthetic generators' output,
+* ``.csv``: one ``timestamp_ns,page,is_write`` row per event, for
+  importing traces collected elsewhere (the paper's traces were
+  file-system event logs; converting them to page touches produces
+  exactly this shape).
+
+Loaded traces plug straight into :mod:`repro.workloads.analysis` and
+:class:`repro.bench.trace_replay.TraceReplayer`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.workloads.traces import VolumeSpec, VolumeTrace
+
+PathLike = Union[str, Path]
+
+
+def save_trace_npz(trace: VolumeTrace, path: PathLike) -> None:
+    """Write a trace (events + spec) to a numpy archive."""
+    spec = trace.spec
+    np.savez_compressed(
+        str(path),
+        t_ns=trace.t_ns,
+        page=trace.page,
+        is_write=trace.is_write,
+        name=np.array(spec.name),
+        num_pages=np.array(spec.num_pages),
+        duration_hours=np.array(spec.duration_hours),
+        writes_per_hour_fraction=np.array(spec.writes_per_hour_fraction),
+        write_skew=np.array(spec.write_skew),
+    )
+
+
+def load_trace_npz(path: PathLike) -> VolumeTrace:
+    """Read a trace written by :func:`save_trace_npz`."""
+    with np.load(str(path), allow_pickle=False) as archive:
+        spec = VolumeSpec(
+            name=str(archive["name"]),
+            num_pages=int(archive["num_pages"]),
+            duration_hours=float(archive["duration_hours"]),
+            writes_per_hour_fraction=float(archive["writes_per_hour_fraction"]),
+            write_skew=str(archive["write_skew"]),
+        )
+        return VolumeTrace(
+            spec=spec,
+            t_ns=archive["t_ns"].astype(np.int64),
+            page=archive["page"].astype(np.int64),
+            is_write=archive["is_write"].astype(bool),
+        )
+
+
+def save_trace_csv(trace: VolumeTrace, path: PathLike) -> None:
+    """Write ``timestamp_ns,page,is_write`` rows (header included)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp_ns", "page", "is_write"])
+        for t_ns, page, is_write in zip(trace.t_ns, trace.page, trace.is_write):
+            writer.writerow([int(t_ns), int(page), int(is_write)])
+
+
+def load_trace_csv(
+    path: PathLike,
+    num_pages: int,
+    duration_hours: float,
+    name: str = "imported",
+) -> VolumeTrace:
+    """Read an event CSV into a trace over a declared volume geometry.
+
+    ``num_pages``/``duration_hours`` describe the volume the events came
+    from (a CSV of events cannot carry that by itself).  Events are
+    sorted by timestamp; pages must fall inside the volume.
+    """
+    if num_pages <= 0:
+        raise ValueError(f"num_pages must be positive: {num_pages}")
+    if duration_hours <= 0:
+        raise ValueError(f"duration_hours must be positive: {duration_hours}")
+    times, pages, writes = [], [], []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["timestamp_ns", "page", "is_write"]:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected "
+                "timestamp_ns,page,is_write"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 3:
+                raise ValueError(f"line {line_no}: expected 3 fields, got {len(row)}")
+            times.append(int(row[0]))
+            pages.append(int(row[1]))
+            writes.append(bool(int(row[2])))
+    page_array = np.asarray(pages, dtype=np.int64)
+    if len(page_array) and (page_array.min() < 0 or page_array.max() >= num_pages):
+        raise ValueError(
+            f"page ids span [{page_array.min()}, {page_array.max()}] outside "
+            f"the declared volume of {num_pages} pages"
+        )
+    order = np.argsort(np.asarray(times, dtype=np.int64), kind="stable")
+    spec = VolumeSpec(
+        name=name,
+        num_pages=num_pages,
+        duration_hours=duration_hours,
+        writes_per_hour_fraction=0.0,  # unknown for imports; unused by analyses
+    )
+    return VolumeTrace(
+        spec=spec,
+        t_ns=np.asarray(times, dtype=np.int64)[order],
+        page=page_array[order],
+        is_write=np.asarray(writes, dtype=bool)[order],
+    )

@@ -1,0 +1,113 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench.charts import bar_chart, grouped_bar_chart, line_plot
+
+
+class TestBarChart:
+    def test_basic(self):
+        rows = [{"v": "A", "pct": 10.0}, {"v": "B", "pct": 5.0}]
+        out = bar_chart(rows, "v", "pct", title="T", width=10)
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].count("#") == 10  # max value fills the width
+        assert lines[2].count("#") == 5
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart([], "v", "pct")
+
+    def test_zero_values(self):
+        rows = [{"v": "A", "pct": 0.0}]
+        out = bar_chart(rows, "v", "pct")
+        assert "#" not in out
+
+    def test_shared_max(self):
+        rows = [{"v": "A", "pct": 5.0}]
+        out = bar_chart(rows, "v", "pct", width=10, max_value=10.0)
+        assert out.splitlines()[0].count("#") == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([], "v", "pct", width=0)
+
+    def test_labels_aligned(self):
+        rows = [{"v": "long-label", "pct": 1.0}, {"v": "x", "pct": 2.0}]
+        lines = bar_chart(rows, "v", "pct").splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestGroupedBarChart:
+    def test_panels(self):
+        rows = [
+            {"app": "cosmos", "vol": "A", "pct": 10.0},
+            {"app": "cosmos", "vol": "B", "pct": 60.0},
+            {"app": "azure", "vol": "A", "pct": 12.0},
+        ]
+        out = grouped_bar_chart(rows, "app", "vol", "pct", title="Fig 2")
+        assert "-- cosmos --" in out
+        assert "-- azure --" in out
+
+    def test_shared_scale_across_groups(self):
+        rows = [
+            {"app": "g1", "vol": "A", "pct": 10.0},
+            {"app": "g2", "vol": "A", "pct": 100.0},
+        ]
+        out = grouped_bar_chart(rows, "app", "vol", "pct", width=10)
+        lines = [line for line in out.splitlines() if "#" in line]
+        assert lines[0].count("#") == 1   # 10/100 of width
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert "(no data)" in grouped_bar_chart([], "a", "b", "c")
+
+
+class TestLinePlot:
+    def test_shape_and_legend(self):
+        out = line_plot(
+            [1, 2, 3],
+            {"viyojit": [10.0, 20.0, 30.0], "nvdram": [30.0, 30.0, 30.0]},
+            title="Fig 7",
+            height=6,
+            width=20,
+        )
+        assert "Fig 7" in out
+        assert "V=viyojit" in out
+        assert "N=nvdram" in out
+        assert "30" in out  # y-axis max
+
+    def test_monotone_series_renders_diagonal(self):
+        out = line_plot([0, 1, 2, 3], {"s": [0.0, 1.0, 2.0, 3.0]}, height=4, width=16)
+        grid_lines = [
+            line for line in out.splitlines() if "S" in line and "=s" not in line
+        ]
+        # Marker appears on every grid row: a rising line.
+        assert len(grid_lines) == 4
+
+    def test_flat_series_safe(self):
+        out = line_plot([1, 2], {"s": [5.0, 5.0]})
+        assert "S" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            line_plot([1, 2], {"s": [1.0]})
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            line_plot([1], {"s": [1.0]}, height=2)
+
+    def test_distinct_markers(self):
+        out = line_plot(
+            [1, 2],
+            {"aaa": [1.0, 2.0], "abc": [2.0, 1.0]},
+            height=5,
+            width=12,
+        )
+        legend = out.splitlines()[-1]
+        assert "=aaa" in legend and "=abc" in legend
+        marker_a = legend.split("=aaa")[0].strip().split()[-1]
+        marker_b = legend.split("=abc")[0].strip().split()[-1]
+        assert marker_a != marker_b
+
+    def test_empty(self):
+        assert "(no data)" in line_plot([], {})

@@ -1,0 +1,123 @@
+"""Tests for the ``python -m repro`` CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDispatch:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "ycsb" in out
+
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "dram_growth" in out
+        assert "1990" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction_at_99" in out
+
+    def test_sizing(self, capsys):
+        assert main(["sizing"]) == 0
+        out = capsys.readouterr().out
+        assert "energy for full backup" in out
+
+    def test_fig2_with_scale_and_apps(self, capsys):
+        assert main(["fig2", "--scale", "0.05", "--apps", "cosmos"]) == 0
+        out = capsys.readouterr().out
+        assert "one_hour_pct" in out
+        assert "cosmos" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--scale", "0.05", "--apps", "search_index"]) == 0
+        assert "p99_pct" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4", "--scale", "0.05", "--apps", "page_rank"]) == 0
+        assert "p95_pct" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestYCSBCommand:
+    def test_small_sweep(self, capsys):
+        code = main(
+            ["ycsb", "--workloads", "C", "--budgets-gb", "4",
+             "--records", "300", "--ops", "600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 7: throughput" in out
+        assert "Fig 8: latency" in out
+        assert "Fig 9: SSD write rate" in out
+        assert "YCSB-C" in out
+
+    def test_workload_aliases(self, capsys):
+        code = main(
+            ["ycsb", "--workloads", "ycsb-c", "--budgets-gb", "4",
+             "--records", "300", "--ops", "400"]
+        )
+        assert code == 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit, match="unknown workload"):
+            main(["ycsb", "--workloads", "Z"])
+
+
+class TestChartFlags:
+    def test_fig2_chart(self, capsys):
+        assert main(["fig2", "--chart", "--scale", "0.05", "--apps", "cosmos"]) == 0
+        out = capsys.readouterr().out
+        assert "-- cosmos --" in out
+        assert "#" in out
+
+    def test_ycsb_chart(self, capsys):
+        code = main(
+            ["ycsb", "--workloads", "C", "--budgets-gb", "4,16", "--chart",
+             "--records", "300", "--ops", "500"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 7 (chart)" in out
+        assert "=baseline" in out
+
+
+class TestReplayCommand:
+    def test_replay(self, capsys):
+        assert main(["replay", "--app", "page_rank", "--scale", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed at 15% battery" in out
+        assert "eviction_rate" in out
+
+
+class TestEconomicsCommand:
+    def test_economics(self, capsys):
+        assert main(["economics", "--servers", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet battery capex" in out
+        assert "saving_vs_full_pct" in out
+
+
+class TestAblationCommand:
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--records", "400", "--ops", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "stale dirty bits" in out
+
+    @pytest.mark.slow
+    def test_policies(self, capsys):
+        assert main(["policies", "--records", "500", "--ops", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "least-recently-updated" in out
+        assert "fifo" in out

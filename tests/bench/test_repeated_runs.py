@@ -1,0 +1,52 @@
+"""Tests for the three-runs-with-RMSE protocol (section 6.1)."""
+
+import pytest
+
+from repro.bench.runner import ExperimentScale, run_workload_repeated
+from repro.workloads.ycsb import YCSB_C
+
+TINY = ExperimentScale(record_count=300, operation_count=500)
+
+
+class TestRepeatedRuns:
+    def test_three_runs_by_default(self):
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        assert len(result.runs) == 3
+
+    def test_mean_within_run_range(self):
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        values = [run.throughput_kops for run in result.runs]
+        assert min(values) <= result.mean_kops <= max(values)
+
+    def test_rmse_nonnegative_and_small(self):
+        """The paper reports ~2% variance at most for its runs; a
+        deterministic simulator with only seed variation should land in
+        the same ballpark."""
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        assert result.rmse_kops >= 0
+        assert result.rmse_kops < result.mean_kops * 0.1
+
+    def test_seeds_actually_vary(self):
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        elapsed = {run.elapsed_ns for run in result.runs}
+        assert len(elapsed) > 1  # different op streams -> different runs
+
+    def test_latency_mean(self):
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        avg = result.latency_mean_ms("read")
+        p99 = result.latency_mean_ms("read", tail=True)
+        assert 0 < avg <= p99
+
+    def test_latency_mean_unknown_kind(self):
+        result = run_workload_repeated(YCSB_C, TINY, 0.5)
+        with pytest.raises(KeyError):
+            result.latency_mean_ms("update")
+
+    def test_runs_validation(self):
+        with pytest.raises(ValueError):
+            run_workload_repeated(YCSB_C, TINY, 0.5, runs=0)
+
+    def test_baseline_repeats(self):
+        result = run_workload_repeated(YCSB_C, TINY, None, runs=2)
+        assert len(result.runs) == 2
+        assert all(run.system_kind == "nvdram" for run in result.runs)

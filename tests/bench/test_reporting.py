@@ -1,0 +1,64 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table, overhead_percent
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_and_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_missing_cell_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_table(rows, columns=["a", "b"])
+        assert "3" in out
+
+    def test_float_formatting(self):
+        rows = [{"v": 0.123456}, {"v": 123456.0}, {"v": 0.0}]
+        out = format_table(rows)
+        assert "0.123" in out
+        assert "1.23e+05" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series(
+            {"viyojit": [1.0, 2.0], "nvdram": [3.0, 4.0]},
+            x_label="budget",
+            x_values=[10, 20],
+        )
+        lines = out.splitlines()
+        assert "budget" in lines[0]
+        assert "viyojit" in lines[0]
+        assert len(lines) == 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series({"s": [1.0]}, "x", [1, 2])
+
+
+class TestOverhead:
+    def test_positive_overhead(self):
+        assert overhead_percent(100, 80) == pytest.approx(20)
+
+    def test_negative_overhead_means_speedup(self):
+        assert overhead_percent(100, 110) == pytest.approx(-10)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_percent(0, 10)

@@ -1,0 +1,119 @@
+"""Tests for the trace-replay driver."""
+
+import pytest
+
+from repro.bench.trace_replay import ReplayResult, TraceReplayer, required_battery_fraction
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import Viyojit
+from repro.sim.events import Simulation
+from repro.workloads.traces import VolumeSpec, generate_volume_trace
+
+PAGE = 4096
+
+
+def small_trace(num_pages=200, frac=0.2, skew="zipf", hours=0.01, **kwargs):
+    spec = VolumeSpec(
+        name="T",
+        num_pages=num_pages,
+        duration_hours=hours,
+        writes_per_hour_fraction=frac / hours,  # keep total writes fixed
+        write_skew=skew,
+        **kwargs,
+    )
+    return generate_volume_trace(spec, seed=5)
+
+
+def make_system(num_pages=512, budget=64):
+    sim = Simulation()
+    system = Viyojit(
+        sim, num_pages=num_pages, config=ViyojitConfig(dirty_budget_pages=budget)
+    )
+    system.start()
+    return system
+
+
+class TestReplayer:
+    def test_volume_must_fit_region(self):
+        system = make_system(num_pages=64)
+        trace = small_trace(num_pages=200)
+        with pytest.raises(ValueError, match="does not fit"):
+            TraceReplayer(system, trace)
+
+    def test_write_bytes_validation(self):
+        system = make_system()
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            TraceReplayer(system, trace, write_bytes=0)
+
+    def test_replay_counts_events(self):
+        system = make_system()
+        trace = small_trace()
+        replayer = TraceReplayer(system, trace)
+        result = replayer.replay(target_duration_ns=20_000_000)
+        assert result.events == len(trace)
+        assert result.writes == int(trace.is_write.sum())
+
+    def test_budget_respected_during_replay(self):
+        budget = 16
+        system = make_system(budget=budget)
+        trace = small_trace(frac=0.5)
+        replayer = TraceReplayer(system, trace)
+        result = replayer.replay(target_duration_ns=20_000_000)
+        assert result.peak_dirty_pages <= budget
+        assert result.peak_budget_utilization <= 1.0
+
+    def test_replay_takes_at_least_target_duration(self):
+        system = make_system()
+        trace = small_trace()
+        replayer = TraceReplayer(system, trace)
+        result = replayer.replay(target_duration_ns=30_000_000)
+        assert result.elapsed_virtual_ms >= 29.0
+
+    def test_invalid_duration(self):
+        system = make_system()
+        replayer = TraceReplayer(system, small_trace())
+        with pytest.raises(ValueError):
+            replayer.replay(target_duration_ns=0)
+
+    def test_skewed_volume_needs_fewer_evictions_than_unique(self):
+        """The section 3 claim, measured at runtime."""
+
+        def evictions(skew, theta=0.9):
+            system = make_system(budget=24)
+            trace = small_trace(
+                frac=0.8, skew=skew,
+                **({"zipf_theta": theta, "write_footprint_fraction": 0.3}
+                   if skew == "zipf" else {}),
+            )
+            replayer = TraceReplayer(system, trace)
+            return replayer.replay(target_duration_ns=40_000_000).eviction_rate
+
+        assert evictions("zipf") < evictions("unique")
+
+
+class TestRequiredBattery:
+    def test_fraction(self):
+        result = ReplayResult(
+            volume="X", events=10, writes=5, budget_pages=100,
+            peak_dirty_pages=15, sync_evictions=0, blocked_ms=0.0,
+            bytes_flushed=0, elapsed_virtual_ms=1.0,
+        )
+        assert required_battery_fraction(result, volume_pages=100) == 0.15
+
+    def test_validation(self):
+        result = ReplayResult(
+            volume="X", events=0, writes=0, budget_pages=1,
+            peak_dirty_pages=0, sync_evictions=0, blocked_ms=0.0,
+            bytes_flushed=0, elapsed_virtual_ms=0.0,
+        )
+        with pytest.raises(ValueError):
+            required_battery_fraction(result, 0)
+
+    def test_eviction_rate_zero_writes(self):
+        result = ReplayResult(
+            volume="X", events=0, writes=0, budget_pages=0,
+            peak_dirty_pages=0, sync_evictions=0, blocked_ms=0.0,
+            bytes_flushed=0, elapsed_virtual_ms=0.0,
+        )
+        assert result.eviction_rate == 0.0
+        assert result.peak_budget_utilization == 0.0

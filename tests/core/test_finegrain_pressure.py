@@ -1,0 +1,101 @@
+"""Tests for the byte-denominated background copier in fine-grain mode."""
+
+import random
+
+import pytest
+
+from repro.core.config import ViyojitConfig
+from repro.core.finegrain import FineGrainViyojit
+from repro.sim.events import Simulation
+
+PAGE = 4096
+
+
+def make(budget_pages=4, block_size=256, **cfg):
+    sim = Simulation()
+    system = FineGrainViyojit(
+        sim,
+        num_pages=512,
+        config=ViyojitConfig(dirty_budget_pages=budget_pages, **cfg),
+        block_size=block_size,
+    )
+    system.start()
+    return sim, system
+
+
+class TestByteRollEpoch:
+    def test_counts_new_bytes(self):
+        _sim, system = make()
+        mapping = system.mmap(64 * PAGE)
+        system.write(mapping.base_addr, b"x" * 200)   # 1 block
+        system.write(mapping.base_addr + PAGE, b"x" * 600)  # 3 blocks
+        assert system.blocks.epoch_new_bytes == 4 * 256
+
+    def test_remarks_not_counted(self):
+        _sim, system = make()
+        mapping = system.mmap(64 * PAGE)
+        system.write(mapping.base_addr, b"x" * 100)
+        system.write(mapping.base_addr, b"y" * 100)  # same block
+        assert system.blocks.epoch_new_bytes == 256
+
+    def test_roll_resets(self):
+        _sim, system = make()
+        mapping = system.mmap(64 * PAGE)
+        system.write(mapping.base_addr, b"x" * 100)
+        assert system.blocks.roll_epoch() == 256
+        assert system.blocks.roll_epoch() == 0
+
+
+class TestByteProactiveFlushing:
+    def test_proactive_flushes_without_blocking(self):
+        """A sustained small-write stream spread over epochs is absorbed
+        by the byte-denominated copier, not by blocking evictions."""
+        sim, system = make(budget_pages=8)
+        mapping = system.mmap(256 * PAGE)
+        rng = random.Random(1)
+        for step in range(600):
+            page = rng.randrange(256)
+            system.write(mapping.base_addr + page * PAGE, b"w" * 100)
+            if step % 20 == 19:
+                sim.run_until(sim.now + system.config.epoch_ns)
+        assert system.stats.proactive_flushes > 0
+        assert system.stats.sync_evictions < system.stats.proactive_flushes / 4
+
+    def test_threshold_tracks_byte_pressure(self):
+        sim, system = make(budget_pages=8)
+        mapping = system.mmap(256 * PAGE)
+        assert system._byte_threshold == system.blocks.budget_bytes
+        rng = random.Random(2)
+        for step in range(200):
+            system.write(
+                mapping.base_addr + rng.randrange(256) * PAGE, b"w" * 100
+            )
+        sim.run_until(sim.now + 2 * system.config.epoch_ns)
+        # Pressure observed -> threshold strictly below the byte budget.
+        assert system._byte_threshold < system.blocks.budget_bytes
+
+    def test_byte_budget_still_never_exceeded(self):
+        sim, system = make(budget_pages=2)
+        mapping = system.mmap(256 * PAGE)
+        rng = random.Random(3)
+        for _ in range(800):
+            page = rng.randrange(256)
+            system.write(mapping.base_addr + page * PAGE, b"w" * 300)
+            assert system.blocks.dirty_bytes <= system.blocks.budget_bytes
+
+    def test_drain_clears_inflight_byte_accounting(self):
+        sim, system = make(budget_pages=4)
+        mapping = system.mmap(64 * PAGE)
+        for page in range(30):
+            system.write(mapping.base_addr + page * PAGE, b"w" * 100)
+        system.drain()
+        assert system.blocks.dirty_bytes == 0
+        assert system._inflight_bytes() == 0
+
+    def test_disabled_proactive_means_sync_only(self):
+        sim, system = make(budget_pages=2, proactive=False)
+        mapping = system.mmap(64 * PAGE)
+        for page in range(40):
+            system.write(mapping.base_addr + page * PAGE, b"w" * 100)
+        assert system.stats.proactive_flushes == 0
+        assert system.stats.sync_evictions > 0

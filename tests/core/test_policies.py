@@ -1,0 +1,165 @@
+"""Unit tests for the pluggable victim-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViyojitConfig
+from repro.core.history import UpdateHistory
+from repro.core.policies import (
+    ClockPolicy,
+    FIFOPolicy,
+    LeastFrequentlyUpdatedPolicy,
+    LeastRecentlyUpdatedPolicy,
+    MostRecentlyUpdatedPolicy,
+    POLICY_NAMES,
+    RandomPolicy,
+    make_policy,
+)
+
+
+def scanned_history(*epochs):
+    """Build an UpdateHistory from per-epoch updated-page lists."""
+    history = UpdateHistory(32, history_epochs=16)
+    for pfns in epochs:
+        history.record_scan(np.array(sorted(set(pfns)), dtype=np.int64))
+    return history
+
+
+class TestFactory:
+    def test_all_names_buildable(self):
+        history = scanned_history([1])
+        for name in POLICY_NAMES:
+            policy = make_policy(name, history=history)
+            assert policy.name == name
+
+    def test_history_required_for_history_policies(self):
+        with pytest.raises(ValueError, match="requires an UpdateHistory"):
+            make_policy("least-recently-updated")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown victim policy"):
+            make_policy("arc")
+
+    def test_config_validates_policy_name(self):
+        with pytest.raises(ValueError):
+            ViyojitConfig(dirty_budget_pages=1, victim_policy="bogus")
+
+
+class TestLRUPolicy:
+    def test_matches_history_coldest(self):
+        history = scanned_history([1], [2], [3])
+        policy = LeastRecentlyUpdatedPolicy(history)
+        assert policy.rank([1, 2, 3], 2) == history.coldest([1, 2, 3], 2)
+
+
+class TestLFUPolicy:
+    def test_least_popular_first(self):
+        history = scanned_history([1, 2], [1], [1])
+        policy = LeastFrequentlyUpdatedPolicy(history)
+        assert policy.rank([1, 2], 1) == [2]
+
+    def test_deterministic_ties(self):
+        history = scanned_history([])
+        policy = LeastFrequentlyUpdatedPolicy(history)
+        assert policy.rank([5, 3, 9], 3) == [3, 5, 9]
+
+    def test_empty(self):
+        policy = LeastFrequentlyUpdatedPolicy(scanned_history())
+        assert policy.rank([], 2) == []
+        assert policy.rank([1], 0) == []
+
+
+class TestFIFOPolicy:
+    def test_dirtying_order(self):
+        policy = FIFOPolicy()
+        for pfn in (5, 3, 8):
+            policy.note_dirtied(pfn)
+        assert policy.rank([3, 5, 8], 2) == [5, 3]
+
+    def test_cleaned_pages_leave_order(self):
+        policy = FIFOPolicy()
+        for pfn in (1, 2, 3):
+            policy.note_dirtied(pfn)
+        policy.note_cleaned(1)
+        assert policy.rank([2, 3], 1) == [2]
+
+    def test_redirty_keeps_original_position(self):
+        policy = FIFOPolicy()
+        policy.note_dirtied(1)
+        policy.note_dirtied(2)
+        policy.note_dirtied(1)  # still first
+        assert policy.rank([1, 2], 1) == [1]
+
+    def test_unseen_candidates_still_returned(self):
+        policy = FIFOPolicy()
+        policy.note_dirtied(1)
+        assert set(policy.rank([1, 99], 2)) == {1, 99}
+
+
+class TestRandomPolicy:
+    def test_returns_subset(self):
+        policy = RandomPolicy(seed=3)
+        out = policy.rank(list(range(10)), 4)
+        assert len(out) == 4
+        assert set(out) <= set(range(10))
+
+    def test_seeded_reproducibility(self):
+        a = RandomPolicy(seed=7).rank(list(range(20)), 5)
+        b = RandomPolicy(seed=7).rank(list(range(20)), 5)
+        assert a == b
+
+
+class TestMRUPolicy:
+    def test_hottest_first(self):
+        history = scanned_history([1], [2])
+        policy = MostRecentlyUpdatedPolicy(history)
+        assert policy.rank([1, 2], 1) == [2]
+
+
+class TestClockPolicy:
+    def test_second_chance(self):
+        policy = ClockPolicy()
+        policy.note_dirtied(1)
+        policy.note_dirtied(2)
+        # Both have the reference bit set; first sweep clears, second picks.
+        out = policy.rank([1, 2], 1)
+        assert out == [1]
+
+    def test_recently_scanned_page_survives_one_sweep(self):
+        policy = ClockPolicy()
+        policy.note_dirtied(1)
+        policy.note_dirtied(2)
+        policy.rank([1, 2], 1)  # clears both bits, picks 1
+        policy.note_scan(np.array([2]), epoch=1)  # 2 referenced again
+        out = policy.rank([1, 2], 1)
+        assert out == [1]  # 1's bit is clear; 2 got a second chance
+
+    def test_cleaned_pages_skipped(self):
+        policy = ClockPolicy()
+        policy.note_dirtied(1)
+        policy.note_dirtied(2)
+        policy.note_cleaned(1)
+        assert policy.rank([2], 1) == [2]
+
+    def test_never_hangs_when_all_referenced(self):
+        policy = ClockPolicy()
+        for pfn in range(8):
+            policy.note_dirtied(pfn)
+        out = policy.rank(list(range(8)), 8)
+        assert sorted(out) == list(range(8))
+
+
+class TestPolicyComparisonUnderSkew:
+    """LRU-updated must beat its adversarial inverse on a skewed stream."""
+
+    def test_lru_keeps_hot_pages_dirty(self):
+        history = UpdateHistory(16, history_epochs=16)
+        # Pages 0-2 update every epoch, 3-9 updated once at epoch 0.
+        history.record_scan(np.arange(10, dtype=np.int64))
+        for _ in range(6):
+            history.record_scan(np.array([0, 1, 2], dtype=np.int64))
+        lru = LeastRecentlyUpdatedPolicy(history)
+        mru = MostRecentlyUpdatedPolicy(history)
+        candidates = list(range(10))
+        assert set(lru.rank(candidates, 3)) <= set(range(3, 10))
+        assert set(mru.rank(candidates, 3)) == {0, 1, 2}

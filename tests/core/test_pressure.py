@@ -1,0 +1,80 @@
+"""Unit tests for the EWMA dirty-page-pressure estimator."""
+
+import pytest
+
+from repro.core.pressure import PressureEstimator
+
+
+class TestEWMA:
+    def test_starts_at_zero(self):
+        assert PressureEstimator().pressure == 0.0
+
+    def test_single_observation(self):
+        estimator = PressureEstimator(alpha=0.75)
+        assert estimator.observe(100) == pytest.approx(75.0)
+
+    def test_paper_weights(self):
+        """0.75 on current epoch, 0.25 on the previous prediction."""
+        estimator = PressureEstimator(alpha=0.75)
+        estimator.observe(100)  # -> 75
+        assert estimator.observe(0) == pytest.approx(0.25 * 75)
+
+    def test_converges_to_steady_state(self):
+        estimator = PressureEstimator(alpha=0.75)
+        for _ in range(50):
+            estimator.observe(40)
+        assert estimator.pressure == pytest.approx(40, rel=1e-6)
+
+    def test_reacts_quickly_to_bursts(self):
+        estimator = PressureEstimator(alpha=0.75)
+        for _ in range(10):
+            estimator.observe(5)
+        estimator.observe(1000)
+        assert estimator.pressure > 700
+
+    def test_observation_counter(self):
+        estimator = PressureEstimator()
+        estimator.observe(1)
+        estimator.observe(2)
+        assert estimator.observations == 2
+
+    def test_negative_observation_rejected(self):
+        estimator = PressureEstimator()
+        with pytest.raises(ValueError):
+            estimator.observe(-1)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            PressureEstimator(alpha=0)
+        with pytest.raises(ValueError):
+            PressureEstimator(alpha=1.5)
+
+    def test_alpha_one_tracks_exactly(self):
+        estimator = PressureEstimator(alpha=1.0)
+        estimator.observe(7)
+        estimator.observe(13)
+        assert estimator.pressure == 13
+
+
+class TestThreshold:
+    def test_threshold_is_budget_minus_pressure(self):
+        estimator = PressureEstimator(alpha=1.0)
+        estimator.observe(30)
+        assert estimator.threshold(100) == 70
+
+    def test_threshold_floors_at_zero(self):
+        estimator = PressureEstimator(alpha=1.0)
+        estimator.observe(500)
+        assert estimator.threshold(100) == 0
+
+    def test_threshold_with_no_pressure(self):
+        assert PressureEstimator().threshold(100) == 100
+
+    def test_threshold_rounds(self):
+        estimator = PressureEstimator(alpha=0.75)
+        estimator.observe(2)  # pressure = 1.5 -> rounds to 2
+        assert estimator.threshold(10) == 8
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            PressureEstimator().threshold(0)

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the paper's guarantees stated as machine-checked properties:
+
+1. The dirty count never exceeds the budget, for *any* access sequence.
+2. Every page outside the dirty set is durable at its latest version, for
+   any access sequence (no lost updates).
+3. A power failure at any prefix of any sequence is survivable with the
+   budget-sized battery.
+4. Data read back always equals the last data written.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ViyojitConfig
+from repro.core.crash import CrashSimulator, viyojit_battery
+from repro.core.dirty_tracker import DirtyTracker
+from repro.core.history import UpdateHistory
+from repro.core.pressure import PressureEstimator
+from repro.core.runtime import Viyojit
+from repro.power.power_model import PowerModel
+from repro.sim.events import Simulation
+
+PAGE = 4096
+REGION_PAGES = 64
+HEAP_PAGES = 32
+
+
+def build_system(budget: int, proactive: bool = True) -> Viyojit:
+    sim = Simulation()
+    system = Viyojit(
+        sim,
+        num_pages=REGION_PAGES,
+        config=ViyojitConfig(dirty_budget_pages=budget, proactive=proactive),
+    )
+    system.start()
+    return system
+
+
+# Access sequences: (page, offset, payload byte) triples.
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=HEAP_PAGES - 1),
+        st.integers(min_value=0, max_value=PAGE - 16),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+budgets = st.integers(min_value=1, max_value=HEAP_PAGES)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seq=accesses, budget=budgets)
+def test_dirty_count_never_exceeds_budget(seq, budget):
+    system = build_system(budget)
+    mapping = system.mmap(HEAP_PAGES * PAGE)
+    for page, offset, byte in seq:
+        system.write(mapping.base_addr + page * PAGE + offset, bytes([byte]) * 8)
+        assert system.dirty_count <= budget
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=accesses, budget=budgets)
+def test_clean_pages_always_durable(seq, budget):
+    system = build_system(budget)
+    mapping = system.mmap(HEAP_PAGES * PAGE)
+    for page, offset, byte in seq:
+        system.write(mapping.base_addr + page * PAGE + offset, bytes([byte]) * 8)
+    inflight = {
+        pfn for pfn in system.tracker if system.flusher.is_inflight(pfn)
+    }
+    for pfn, version in system.region.touched_pages():
+        if pfn not in system.tracker and pfn not in inflight:
+            assert system.backing.holds_version(pfn, version)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seq=accesses, budget=budgets)
+def test_power_failure_survivable_at_every_prefix(seq, budget):
+    system = build_system(budget)
+    model = PowerModel()
+    battery = viyojit_battery(model, budget * PAGE)
+    crash = CrashSimulator(system, model, battery)
+    mapping = system.mmap(HEAP_PAGES * PAGE)
+    for page, offset, byte in seq:
+        system.write(mapping.base_addr + page * PAGE + offset, bytes([byte]) * 8)
+        assert crash.power_failure().survives
+
+
+@settings(max_examples=30, deadline=None)
+@given(seq=accesses, budget=budgets)
+def test_read_your_writes(seq, budget):
+    system = build_system(budget)
+    mapping = system.mmap(HEAP_PAGES * PAGE)
+    shadow = {}
+    for page, offset, byte in seq:
+        addr = mapping.base_addr + page * PAGE + offset
+        payload = bytes([byte]) * 8
+        system.write(addr, payload)
+        shadow[addr] = payload
+    for addr, payload in shadow.items():
+        got = system.read(addr, 8)
+        # Later writes may overlap; only check addresses written once last.
+        if all(
+            other == addr or other + 8 <= addr or other >= addr + 8
+            for other in shadow
+        ):
+            assert got == payload
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 63)),
+        max_size=200,
+    ),
+    budget=st.integers(min_value=1, max_value=64),
+)
+def test_tracker_count_matches_set_semantics(ops, budget):
+    tracker = DirtyTracker(budget)
+    model = set()
+    for op, pfn in ops:
+        if op == "add":
+            if pfn not in model and len(model) >= budget:
+                continue  # runtime would evict first
+            tracker.add(pfn)
+            model.add(pfn)
+        else:
+            tracker.remove(pfn)
+            model.discard(pfn)
+        assert tracker.count == len(model)
+        assert tracker.snapshot() == model
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    scans=st.lists(
+        st.lists(st.integers(0, 31), max_size=8),
+        min_size=1,
+        max_size=70,
+    )
+)
+def test_history_coldest_matches_bruteforce(scans):
+    """coldest() agrees with a brute-force sort on (last_update, count)."""
+    history = UpdateHistory(32, history_epochs=16)
+    last = {}
+    window = []
+    for epoch, pfns in enumerate(scans):
+        history.record_scan(np.array(sorted(set(pfns)), dtype=np.int64))
+        for pfn in set(pfns):
+            last[pfn] = epoch
+        window.append(set(pfns))
+        window = window[-16:]
+
+    candidates = list(range(32))
+
+    def brute_key(pfn):
+        count = sum(1 for epoch_set in window if pfn in epoch_set)
+        return (last.get(pfn, -1), count, pfn)
+
+    expected = sorted(candidates, key=brute_key)[:5]
+    assert history.coldest(candidates, 5) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    observations=st.lists(st.integers(0, 10_000), min_size=1, max_size=50),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+)
+def test_pressure_bounded_by_max_observation(observations, alpha):
+    estimator = PressureEstimator(alpha=alpha)
+    for value in observations:
+        estimator.observe(value)
+        assert 0 <= estimator.pressure <= max(observations) + 1e-9

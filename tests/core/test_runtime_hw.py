@@ -1,0 +1,110 @@
+"""Tests for the hardware-assisted Viyojit variant (section 5.4)."""
+
+import random
+
+import pytest
+
+from repro.sim.events import Simulation
+from tests.conftest import make_hardware_viyojit, make_viyojit
+
+PAGE = 4096
+
+
+class TestNoTrapTracking:
+    def test_first_write_does_not_fault(self, sim):
+        system = make_hardware_viyojit(sim)
+        mapping = system.mmap(4 * PAGE)
+        system.write(mapping.base_addr, b"x")
+        assert system.stats.write_faults == 0
+        assert system.dirty_count == 1
+
+    def test_dirty_set_synced_with_hardware_counter(self, sim):
+        system = make_hardware_viyojit(sim)
+        mapping = system.mmap(8 * PAGE)
+        for page in range(5):
+            system.write(mapping.base_addr + page * PAGE, b"x")
+        assert system.dirty_count == 5
+        assert system.mmu.dirty_counter == 5
+
+    def test_budget_still_enforced(self, sim):
+        budget = 4
+        system = make_hardware_viyojit(sim, num_pages=128, budget=budget)
+        mapping = system.mmap(64 * PAGE)
+        rng = random.Random(0)
+        for _ in range(1000):
+            page = rng.randrange(64)
+            system.write(mapping.base_addr + page * PAGE, b"w" * 16)
+            assert system.dirty_count <= budget
+
+    def test_counter_decrements_on_flush(self, sim):
+        system = make_hardware_viyojit(sim, budget=4)
+        mapping = system.mmap(8 * PAGE)
+        for page in range(4):
+            system.write(mapping.base_addr + page * PAGE, b"x")
+        system.drain()
+        assert system.mmu.dirty_counter == 0
+        assert system.dirty_count == 0
+
+
+class TestLowerOverhead:
+    def test_fewer_traps_than_software(self):
+        """The whole point of the MMU offload: no per-first-write traps."""
+
+        def run(factory):
+            sim = Simulation()
+            system = factory(sim)
+            mapping = system.mmap(32 * PAGE)
+            rng = random.Random(5)
+            for _ in range(1000):
+                page = rng.randrange(32)
+                system.write(mapping.base_addr + page * PAGE, b"q" * 16)
+            return system
+
+        software = run(lambda sim: make_viyojit(sim, num_pages=128, budget=64))
+        hardware = run(lambda sim: make_hardware_viyojit(sim, num_pages=128, budget=64))
+        assert hardware.stats.write_faults < software.stats.write_faults
+        assert hardware.stats.trap_time_ns < software.stats.trap_time_ns
+
+    def test_faster_than_software_when_budget_ample(self):
+        def run(factory):
+            sim = Simulation()
+            system = factory(sim)
+            mapping = system.mmap(32 * PAGE)
+            rng = random.Random(6)
+            for _ in range(1000):
+                page = rng.randrange(32)
+                system.write(mapping.base_addr + page * PAGE, b"q" * 16)
+            return sim.now
+
+        software_time = run(lambda sim: make_viyojit(sim, num_pages=128, budget=64))
+        hardware_time = run(
+            lambda sim: make_hardware_viyojit(sim, num_pages=128, budget=64)
+        )
+        assert hardware_time < software_time
+
+
+class TestInflightWrites:
+    def test_write_to_inflight_page_waits_and_redirties(self, sim):
+        system = make_hardware_viyojit(sim, num_pages=64, budget=8, proactive=False)
+        mapping = system.mmap(8 * PAGE)
+        system.write(mapping.base_addr, b"v1")
+        pfn = mapping.base_page
+        cost = system.flusher.issue(pfn)
+        sim.clock.advance(cost)
+        assert system.flusher.is_inflight(pfn)
+        # This write faults on the flusher's protection, waits, re-dirties.
+        system.write(mapping.base_addr, b"v2")
+        assert system.stats.write_faults == 1
+        assert pfn in system.tracker
+        assert system.read(mapping.base_addr, 2) == b"v2"
+
+    def test_durability_after_drain(self, sim):
+        system = make_hardware_viyojit(sim, num_pages=64, budget=8)
+        mapping = system.mmap(16 * PAGE)
+        rng = random.Random(7)
+        for _ in range(500):
+            page = rng.randrange(16)
+            system.write(mapping.base_addr + page * PAGE, bytes([page]) * 32)
+        system.drain()
+        for pfn, version in system.region.touched_pages():
+            assert system.backing.holds_version(pfn, version)

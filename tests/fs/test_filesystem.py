@@ -1,0 +1,255 @@
+"""Tests for the NVM file system."""
+
+import random
+
+import pytest
+
+from repro.fs.filesystem import (
+    FileNotFound,
+    FileSystemFull,
+    MAX_EXTENTS,
+    NVMFileSystem,
+)
+from repro.sim.events import Simulation
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+
+
+def build_fs(mode="in-place", data_pages=256, max_files=32, budget=64):
+    system = make_viyojit(Simulation(), num_pages=data_pages + 64, budget=budget)
+    return system, NVMFileSystem(
+        system, data_pages=data_pages, max_files=max_files, mode=mode
+    )
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        system = make_viyojit(Simulation(), num_pages=128, budget=16)
+        with pytest.raises(ValueError):
+            NVMFileSystem(system, data_pages=0)
+        with pytest.raises(ValueError):
+            NVMFileSystem(system, data_pages=16, max_files=0)
+        with pytest.raises(ValueError):
+            NVMFileSystem(system, data_pages=16, mode="cow")
+
+
+class TestCreateDelete:
+    def test_create_and_list(self):
+        _system, fs = build_fs()
+        fs.create("alpha")
+        fs.create("beta")
+        assert fs.list_files() == ["alpha", "beta"]
+        assert fs.exists("alpha")
+
+    def test_duplicate_rejected(self):
+        _system, fs = build_fs()
+        fs.create("f")
+        with pytest.raises(ValueError, match="exists"):
+            fs.create("f")
+
+    def test_empty_name_rejected(self):
+        _system, fs = build_fs()
+        with pytest.raises(ValueError):
+            fs.create("")
+
+    def test_long_name_rejected(self):
+        _system, fs = build_fs()
+        with pytest.raises(ValueError, match="too long"):
+            fs.create("x" * 48)
+
+    def test_inode_table_full(self):
+        _system, fs = build_fs(max_files=3)
+        for i in range(3):
+            fs.create(f"f{i}")
+        with pytest.raises(FileSystemFull, match="inode table"):
+            fs.create("overflow")
+
+    def test_delete_frees_inode_and_pages(self):
+        _system, fs = build_fs()
+        free_before = fs.free_pages()
+        fs.create("f")
+        fs.write_file("f", 0, b"x" * 3 * PAGE)
+        assert fs.free_pages() == free_before - 3
+        fs.delete("f")
+        assert fs.free_pages() == free_before
+        assert not fs.exists("f")
+
+    def test_delete_missing(self):
+        _system, fs = build_fs()
+        with pytest.raises(FileNotFound):
+            fs.delete("ghost")
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        _system, fs = build_fs()
+        fs.create("f")
+        fs.write_file("f", 0, b"hello nvm filesystem")
+        assert fs.read_file("f", 0, 100) == b"hello nvm filesystem"
+
+    def test_offset_write_grows_file(self):
+        _system, fs = build_fs()
+        fs.create("f")
+        fs.write_file("f", 10, b"tail")
+        size, _pages = fs.stat("f")
+        assert size == 14
+        assert fs.read_file("f", 0, 14) == b"\x00" * 10 + b"tail"
+
+    def test_overwrite_in_place(self):
+        _system, fs = build_fs()
+        fs.create("f")
+        fs.write_file("f", 0, b"aaaa")
+        fs.write_file("f", 1, b"bb")
+        assert fs.read_file("f", 0, 4) == b"abba"
+
+    def test_multi_page_file(self):
+        _system, fs = build_fs()
+        fs.create("big")
+        payload = bytes(range(256)) * 64  # 16 KiB
+        fs.write_file("big", 0, payload)
+        assert fs.read_file("big", 0, len(payload)) == payload
+        assert fs.read_file("big", 5000, 100) == payload[5000:5100]
+
+    def test_read_past_eof_clamped(self):
+        _system, fs = build_fs()
+        fs.create("f")
+        fs.write_file("f", 0, b"abc")
+        assert fs.read_file("f", 2, 100) == b"c"
+        assert fs.read_file("f", 10, 5) == b""
+
+    def test_missing_file(self):
+        _system, fs = build_fs()
+        with pytest.raises(FileNotFound):
+            fs.read_file("nope", 0, 1)
+        with pytest.raises(FileNotFound):
+            fs.write_file("nope", 0, b"x")
+
+    def test_data_exhaustion(self):
+        _system, fs = build_fs(data_pages=8)
+        fs.create("f")
+        with pytest.raises(FileSystemFull):
+            fs.write_file("f", 0, b"z" * 9 * PAGE)
+
+    def test_fragmentation_limit(self):
+        """Deleting alternate files fragments; extents are capped."""
+        _system, fs = build_fs(data_pages=64, max_files=40)
+        for i in range(30):
+            fs.create(f"f{i}")
+            fs.write_file(f"f{i}", 0, b"x" * PAGE)
+        for i in range(0, 30, 2):
+            fs.delete(f"f{i}")
+        fs.create("frag")
+        with pytest.raises(FileSystemFull, match="fragmented|extents"):
+            fs.write_file("frag", 0, b"y" * PAGE * (MAX_EXTENTS + 4))
+
+
+class TestModes:
+    def test_log_structured_moves_pages(self):
+        _system, fs = build_fs(mode="log-structured")
+        fs.create("f")
+        fs.write_file("f", 0, b"v1" * 100)
+        first_pages = fs._read_inode(fs._names["f"])[2]
+        fs.write_file("f", 0, b"v2" * 100)
+        second_pages = fs._read_inode(fs._names["f"])[2]
+        assert first_pages != second_pages  # fresh pages every write
+
+    def test_in_place_reuses_pages(self):
+        _system, fs = build_fs(mode="in-place")
+        fs.create("f")
+        fs.write_file("f", 0, b"v1" * 100)
+        first_pages = fs._read_inode(fs._names["f"])[2]
+        fs.write_file("f", 0, b"v2" * 100)
+        assert fs._read_inode(fs._names["f"])[2] == first_pages
+
+    def test_log_structured_dirties_more_nvdram(self):
+        def dirty_pages_after_rewrites(mode):
+            system, fs = build_fs(mode=mode, budget=200)
+            fs.create("f")
+            for round_num in range(10):
+                fs.write_file("f", 0, bytes([round_num]) * PAGE)
+            return system.stats.pages_dirtied
+
+        assert dirty_pages_after_rewrites("log-structured") > (
+            2 * dirty_pages_after_rewrites("in-place")
+        )
+
+    def test_log_structured_preserves_content(self):
+        _system, fs = build_fs(mode="log-structured")
+        fs.create("f")
+        fs.write_file("f", 0, b"base" * 1000)
+        fs.write_file("f", 8, b"PATCH")
+        expected = bytearray(b"base" * 1000)
+        expected[8:13] = b"PATCH"
+        assert fs.read_file("f", 0, 4000) == bytes(expected)
+
+
+class TestRecovery:
+    def transplant(self, src_system, geometry):
+        dst = make_viyojit(Simulation(), num_pages=geometry + 64, budget=64)
+        for pfn, version in src_system.region.touched_pages():
+            dst.region.load_page(pfn, src_system.region.page_bytes(pfn), version)
+        return dst
+
+    def test_recover_roundtrip(self):
+        system, fs = build_fs(data_pages=256)
+        fs.create("a")
+        fs.write_file("a", 0, b"persistent" * 50)
+        fs.create("b")
+        fs.write_file("b", 0, b"second file")
+
+        dst = self.transplant(system, 256)
+        reopened = NVMFileSystem.recover(dst, data_pages=256, max_files=32)
+        assert reopened.list_files() == ["a", "b"]
+        assert reopened.read_file("a", 0, 500) == b"persistent" * 50
+        assert reopened.read_file("b", 0, 100) == b"second file"
+
+    def test_recovered_fs_is_writable_without_collisions(self):
+        system, fs = build_fs(data_pages=256)
+        fs.create("old")
+        fs.write_file("old", 0, b"o" * 2 * PAGE)
+
+        dst = self.transplant(system, 256)
+        reopened = NVMFileSystem.recover(dst, data_pages=256, max_files=32)
+        reopened.create("new")
+        reopened.write_file("new", 0, b"n" * 3 * PAGE)
+        assert reopened.read_file("old", 0, 2 * PAGE) == b"o" * 2 * PAGE
+        assert reopened.read_file("new", 0, 3 * PAGE) == b"n" * 3 * PAGE
+
+    def test_recover_rejects_garbage(self):
+        dst = make_viyojit(Simulation(), num_pages=256, budget=32)
+        with pytest.raises(ValueError, match="magic"):
+            NVMFileSystem.recover(dst, data_pages=64, max_files=8)
+
+    def test_recover_rejects_geometry_mismatch(self):
+        system, _fs = build_fs(data_pages=256)
+        dst = self.transplant(system, 256)
+        with pytest.raises(ValueError, match="geometry"):
+            NVMFileSystem.recover(dst, data_pages=128, max_files=32)
+
+
+class TestChurn:
+    def test_random_workload_consistency(self):
+        _system, fs = build_fs(data_pages=512, max_files=24, budget=128)
+        rng = random.Random(7)
+        model = {}
+        for _ in range(300):
+            name = f"file{rng.randrange(12)}"
+            action = rng.random()
+            if action < 0.5:
+                data = bytes([rng.randrange(256)]) * rng.randrange(10, 2000)
+                if name not in model:
+                    fs.create(name)
+                    model[name] = b""
+                offset = rng.randrange(0, max(1, len(model[name]) + 1))
+                fs.write_file(name, offset, data)
+                image = bytearray(model[name].ljust(offset + len(data), b"\x00"))
+                image[offset : offset + len(data)] = data
+                model[name] = bytes(image)
+            elif action < 0.8 and name in model:
+                got = fs.read_file(name, 0, len(model[name]))
+                assert got == model[name], name
+            elif name in model:
+                fs.delete(name)
+                del model[name]
+        assert fs.list_files() == sorted(model)

@@ -1,0 +1,91 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in-process (runpy) with their internal scales; each
+asserts its own correctness conditions, so completion == passing.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv=None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_complete():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "kvstore_ycsb.py",
+        "trace_analysis.py",
+        "crash_recovery.py",
+        "battery_provisioning.py",
+        "warm_restart.py",
+        "multi_tenant.py",
+    } <= names
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "never exceeded: True" in out
+    assert "expected 123456" in out
+
+
+def test_crash_recovery(capsys):
+    run_example("crash_recovery.py")
+    out = capsys.readouterr().out
+    assert "SURVIVES" in out
+    assert "every key-value pair matches" in out
+
+
+def test_battery_provisioning(capsys):
+    run_example("battery_provisioning.py")
+    out = capsys.readouterr().out
+    assert "kJ" in out
+    assert "durability preserved" in out
+
+
+def test_warm_restart(capsys):
+    run_example("warm_restart.py")
+    out = capsys.readouterr().out
+    assert "recovered from NVM" in out
+    assert "faster" in out
+
+
+def test_multi_tenant(capsys):
+    run_example("multi_tenant.py")
+    out = capsys.readouterr().out
+    assert "batch bursting" in out
+    assert "survivable at every checkpoint" in out
+
+
+def test_write_skew_heatmap(capsys):
+    run_example("write_skew_heatmap.py")
+    out = capsys.readouterr().out
+    assert "write heat across the KV heap" in out
+    assert "pages needed" in out
+
+
+@pytest.mark.slow
+def test_trace_analysis(capsys):
+    run_example("trace_analysis.py", ["search_index"])
+    out = capsys.readouterr().out
+    assert "battery" in out.lower()
+
+
+@pytest.mark.slow
+def test_kvstore_ycsb(capsys):
+    run_example("kvstore_ycsb.py")
+    out = capsys.readouterr().out
+    assert "YCSB-A" in out and "overhead_pct" in out

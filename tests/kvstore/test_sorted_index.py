@@ -1,0 +1,206 @@
+"""Tests for the NVM skip list and KV-store scans (YCSB-E support)."""
+
+import random
+
+import pytest
+
+from repro.kvstore.heap import PersistentHeap
+from repro.kvstore.sorted_index import SortedIndex, node_level, walk_sorted
+from repro.kvstore.store import KVStore
+from repro.workloads.ycsb import YCSB_E, generate_operations
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+
+
+@pytest.fixture
+def index(sim):
+    system = make_viyojit(sim, num_pages=1024, budget=256)
+    heap = PersistentHeap(system, system.mmap(256 * PAGE))
+    return SortedIndex(system, heap)
+
+
+class TestNodeLevel:
+    def test_deterministic(self):
+        assert node_level(b"k", 16) == node_level(b"k", 16)
+
+    def test_within_bounds(self):
+        for i in range(200):
+            level = node_level(b"key%d" % i, 16)
+            assert 1 <= level <= 16
+
+    def test_geometric_ish(self):
+        levels = [node_level(b"key%d" % i, 16) for i in range(2000)]
+        ones = sum(1 for level in levels if level == 1)
+        assert 0.35 < ones / len(levels) < 0.65  # ~half at level 1
+
+
+class TestInsertFind:
+    def test_empty_find(self, index):
+        assert index.find(b"missing") is None
+        assert index.find_ge(b"anything") is None
+        assert len(index) == 0
+
+    def test_insert_and_find(self, index):
+        index.insert(b"banana", 111)
+        index.insert(b"apple", 222)
+        assert index.find(b"apple") == 222
+        assert index.find(b"banana") == 111
+        assert index.find(b"cherry") is None
+        assert len(index) == 2
+
+    def test_update_in_place(self, index):
+        index.insert(b"k", 1)
+        index.insert(b"k", 2)
+        assert index.find(b"k") == 2
+        assert len(index) == 1
+
+    def test_sorted_order(self, index):
+        rng = random.Random(1)
+        keys = {b"key%06d" % rng.randrange(10**6) for _ in range(300)}
+        for key in keys:
+            index.insert(key, 1)
+        assert list(index.keys()) == sorted(keys)
+
+    def test_empty_key_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.insert(b"", 1)
+
+    def test_max_level_validation(self, sim):
+        system = make_viyojit(sim, num_pages=256, budget=64)
+        heap = PersistentHeap(system, system.mmap(32 * PAGE))
+        with pytest.raises(ValueError):
+            SortedIndex(system, heap, max_level=0)
+
+
+class TestDelete:
+    def test_delete_existing(self, index):
+        index.insert(b"a", 1)
+        index.insert(b"b", 2)
+        assert index.delete(b"a") is True
+        assert index.find(b"a") is None
+        assert index.find(b"b") == 2
+        assert len(index) == 1
+
+    def test_delete_missing(self, index):
+        assert index.delete(b"nope") is False
+
+    def test_delete_preserves_order(self, index):
+        keys = [b"k%03d" % i for i in range(60)]
+        for key in keys:
+            index.insert(key, 1)
+        for key in keys[::3]:
+            index.delete(key)
+        remaining = [key for i, key in enumerate(keys) if i % 3]
+        assert list(index.keys()) == remaining
+
+    def test_churn(self, index):
+        rng = random.Random(2)
+        model = {}
+        for _ in range(600):
+            key = b"k%03d" % rng.randrange(80)
+            if rng.random() < 0.6:
+                addr = rng.randrange(1, 10**9)
+                index.insert(key, addr)
+                model[key] = addr
+            else:
+                assert index.delete(key) == (key in model)
+                model.pop(key, None)
+        assert list(index.keys()) == sorted(model)
+        for key, addr in model.items():
+            assert index.find(key) == addr
+
+
+class TestScan:
+    def test_scan_from_existing_key(self, index):
+        for i in range(20):
+            index.insert(b"k%02d" % i, i)
+        result = index.scan(b"k05", 4)
+        assert [key for key, _ in result] == [b"k05", b"k06", b"k07", b"k08"]
+
+    def test_scan_from_gap(self, index):
+        index.insert(b"a", 1)
+        index.insert(b"c", 3)
+        result = index.scan(b"b", 5)
+        assert [key for key, _ in result] == [b"c"]
+
+    def test_scan_past_end(self, index):
+        index.insert(b"a", 1)
+        assert index.scan(b"z", 5) == []
+
+    def test_scan_count_validation(self, index):
+        with pytest.raises(ValueError):
+            index.scan(b"a", 0)
+
+
+class TestWalkRecovered:
+    def test_walk_matches_live(self, sim):
+        system = make_viyojit(sim, num_pages=1024, budget=256)
+        heap = PersistentHeap(system, system.mmap(256 * PAGE))
+        index = SortedIndex(system, heap)
+        for i in range(50):
+            index.insert(b"key%03d" % (i * 7 % 50), i)
+        walked = list(walk_sorted(system.region.read, index.head.base_addr))
+        assert [key for key, _ in walked] == list(index.keys())
+
+    def test_walk_rejects_garbage(self, sim):
+        system = make_viyojit(sim, num_pages=256, budget=64)
+        system.mmap(PAGE)
+        with pytest.raises(ValueError, match="magic"):
+            list(walk_sorted(system.region.read, 0))
+
+
+class TestStoreScans:
+    def test_scan_requires_ordered(self, sim):
+        system = make_viyojit(sim, num_pages=512, budget=128)
+        store = KVStore(system, num_buckets=32, heap_bytes=64 * PAGE)
+        with pytest.raises(RuntimeError, match="ordered"):
+            store.scan(b"k", 5)
+
+    def test_scan_returns_values(self, sim):
+        system = make_viyojit(sim, num_pages=1024, budget=256)
+        store = KVStore(
+            system, num_buckets=32, heap_bytes=256 * PAGE, ordered=True
+        )
+        for i in range(30):
+            store.put(b"k%02d" % i, b"v%02d" % i)
+        result = store.scan(b"k10", 3)
+        assert result == [(b"k10", b"v10"), (b"k11", b"v11"), (b"k12", b"v12")]
+        assert store.stats.scans == 1
+        assert store.stats.scanned_records == 3
+
+    def test_scan_sees_relocated_values(self, sim):
+        system = make_viyojit(sim, num_pages=1024, budget=256)
+        store = KVStore(
+            system, num_buckets=32, heap_bytes=256 * PAGE, ordered=True
+        )
+        store.put(b"k", b"small")
+        store.put(b"k", b"x" * 500)  # relocation
+        assert store.scan(b"k", 1) == [(b"k", b"x" * 500)]
+
+    def test_deleted_keys_not_scanned(self, sim):
+        system = make_viyojit(sim, num_pages=1024, budget=256)
+        store = KVStore(
+            system, num_buckets=32, heap_bytes=256 * PAGE, ordered=True
+        )
+        for i in range(5):
+            store.put(b"k%d" % i, b"v")
+        store.delete(b"k2")
+        keys = [key for key, _ in store.scan(b"k0", 10)]
+        assert keys == [b"k0", b"k1", b"k3", b"k4"]
+
+
+class TestYCSBEGeneration:
+    def test_mix(self):
+        import collections
+
+        ops = list(generate_operations(YCSB_E, 100, 4000, seed=5))
+        kinds = collections.Counter(op.kind for op in ops)
+        assert kinds["scan"] / len(ops) == pytest.approx(0.95, abs=0.02)
+        assert kinds["insert"] / len(ops) == pytest.approx(0.05, abs=0.02)
+
+    def test_scan_lengths_in_range(self):
+        ops = list(generate_operations(YCSB_E, 100, 1000, seed=6))
+        lengths = [op.scan_length for op in ops if op.kind == "scan"]
+        assert min(lengths) >= 1
+        assert max(lengths) <= YCSB_E.max_scan_length

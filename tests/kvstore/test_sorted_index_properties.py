@@ -1,0 +1,83 @@
+"""Property-based tests for the NVM skip list (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kvstore.heap import PersistentHeap
+from repro.kvstore.sorted_index import SortedIndex
+from repro.sim.events import Simulation
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+
+keys = st.binary(min_size=1, max_size=20)
+operations = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), keys, st.integers(1, 10**9)),
+    max_size=120,
+)
+
+
+def build_index():
+    system = make_viyojit(Simulation(), num_pages=2048, budget=512)
+    heap = PersistentHeap(system, system.mmap(512 * PAGE))
+    return SortedIndex(system, heap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=operations)
+def test_matches_dict_model(ops):
+    """The skip list behaves exactly like a sorted dict."""
+    index = build_index()
+    model = {}
+    for action, key, value in ops:
+        if action == "insert":
+            index.insert(key, value)
+            model[key] = value
+        else:
+            assert index.delete(key) == (key in model)
+            model.pop(key, None)
+    assert list(index.keys()) == sorted(model)
+    assert len(index) == len(model)
+    for key, value in model.items():
+        assert index.find(key) == value
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=operations, start=keys, count=st.integers(1, 20))
+def test_scan_matches_sorted_slice(ops, start, count):
+    """scan(start, k) == the first k model keys >= start, in order."""
+    index = build_index()
+    model = {}
+    for action, key, value in ops:
+        if action == "insert":
+            index.insert(key, value)
+            model[key] = value
+        else:
+            index.delete(key)
+            model.pop(key, None)
+    expected = [
+        (key, model[key]) for key in sorted(model) if key >= start
+    ][:count]
+    assert index.scan(start, count) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=operations)
+def test_find_ge_is_successor(ops):
+    index = build_index()
+    model = set()
+    for action, key, _value in ops:
+        if action == "insert":
+            index.insert(key, 1)
+            model.add(key)
+        else:
+            index.delete(key)
+            model.discard(key)
+    for probe in (b"\x00", b"m", b"\xff"):
+        node = index.find_ge(probe)
+        expected = min((k for k in model if k >= probe), default=None)
+        if expected is None:
+            assert node is None
+        else:
+            assert node is not None
+            assert index._key_of(node) == expected

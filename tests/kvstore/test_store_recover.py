@@ -1,0 +1,141 @@
+"""Tests for re-opening a KV store over a recovered image."""
+
+import random
+
+import pytest
+
+from repro.kvstore.store import KVStore
+from repro.sim.events import Simulation
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+STORE_ARGS = dict(num_buckets=64, heap_bytes=128 * PAGE)
+
+
+def build_system():
+    return make_viyojit(Simulation(), num_pages=1024, budget=256)
+
+
+def transplant(src_system, dst_system):
+    """Copy the source region's pages into a fresh system (a 'reboot')."""
+    for pfn, version in src_system.region.touched_pages():
+        dst_system.region.load_page(
+            pfn, src_system.region.page_bytes(pfn), version
+        )
+
+
+class TestRecover:
+    def test_roundtrip(self):
+        first = build_system()
+        store = KVStore(first, **STORE_ARGS)
+        expected = {}
+        for i in range(80):
+            key, value = b"k%03d" % i, b"v%03d" % i
+            store.put(key, value)
+            expected[key] = value
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, **STORE_ARGS)
+        assert len(reopened) == 80
+        for key, value in expected.items():
+            assert reopened.get(key) == value
+
+    def test_recovered_store_is_writable(self):
+        first = build_system()
+        store = KVStore(first, **STORE_ARGS)
+        store.put(b"old", b"1")
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, **STORE_ARGS)
+        reopened.put(b"new", b"2")
+        reopened.put(b"old", b"3")
+        reopened.delete(b"old")
+        assert reopened.get(b"new") == b"2"
+        assert reopened.get(b"old") is None
+        assert len(reopened) == 1
+
+    def test_recovered_allocations_do_not_collide(self):
+        """New records must never overlap adopted (recovered) blocks."""
+        first = build_system()
+        store = KVStore(first, **STORE_ARGS)
+        rng = random.Random(1)
+        expected = {}
+        for i in range(60):
+            key = b"k%03d" % i
+            value = bytes([i]) * rng.randrange(10, 400)
+            store.put(key, value)
+            expected[key] = value
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, **STORE_ARGS)
+        for i in range(60, 140):
+            key = b"k%03d" % i
+            value = bytes([i % 256]) * rng.randrange(10, 400)
+            reopened.put(key, value)
+            expected[key] = value
+        for key, value in expected.items():
+            assert reopened.get(key) == value, key
+
+    def test_recover_rejects_garbage(self):
+        empty = build_system()
+        with pytest.raises(ValueError, match="magic"):
+            KVStore.recover(empty, **STORE_ARGS)
+
+    def test_recover_rejects_bucket_mismatch(self):
+        first = build_system()
+        KVStore(first, **STORE_ARGS)
+        second = build_system()
+        transplant(first, second)
+        with pytest.raises(ValueError, match="bucket-count mismatch"):
+            KVStore.recover(second, num_buckets=128, heap_bytes=128 * PAGE)
+
+    def test_recover_after_shrinking_updates(self):
+        """Shrunk values relocated to smaller blocks: adoption classes
+        must still match (the invariant that makes recovery safe)."""
+        first = build_system()
+        store = KVStore(first, **STORE_ARGS)
+        store.put(b"k", b"x" * 900)
+        store.put(b"k", b"y" * 5)  # relocates to a small block
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, **STORE_ARGS)
+        assert reopened.get(b"k") == b"y" * 5
+        # And the heap accepts plenty of further allocations cleanly.
+        for i in range(50):
+            reopened.put(b"n%02d" % i, b"z" * 100)
+        assert reopened.get(b"n00") == b"z" * 100
+
+
+class TestRecoverOrdered:
+    def test_scan_after_recovery(self):
+        first = build_system()
+        store = KVStore(first, ordered=True, **STORE_ARGS)
+        for i in range(40):
+            store.put(b"key%03d" % i, b"val%03d" % i)
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, ordered=True, **STORE_ARGS)
+        assert len(reopened.index) == 40
+        result = reopened.scan(b"key010", 3)
+        assert result == [
+            (b"key010", b"val010"),
+            (b"key011", b"val011"),
+            (b"key012", b"val012"),
+        ]
+
+    def test_recovered_index_accepts_inserts(self):
+        first = build_system()
+        store = KVStore(first, ordered=True, **STORE_ARGS)
+        store.put(b"b", b"2")
+
+        second = build_system()
+        transplant(first, second)
+        reopened = KVStore.recover(second, ordered=True, **STORE_ARGS)
+        reopened.put(b"a", b"1")
+        reopened.put(b"c", b"3")
+        assert [k for k, _ in reopened.scan(b"a", 10)] == [b"a", b"b", b"c"]

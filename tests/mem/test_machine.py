@@ -1,0 +1,66 @@
+"""Unit tests for the machine cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.mem.machine import MachineModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        MachineModel()
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            MachineModel(page_size=1000)
+        with pytest.raises(ValueError):
+            MachineModel(page_size=0)
+
+    def test_bad_tlb_entries(self):
+        with pytest.raises(ValueError):
+            MachineModel(tlb_entries=0)
+
+    def test_negative_costs(self):
+        with pytest.raises(ValueError):
+            MachineModel(trap_cost_ns=-1)
+        with pytest.raises(ValueError):
+            MachineModel(scan_per_page_ns=-0.1)
+
+    def test_frozen(self):
+        machine = MachineModel()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            machine.trap_cost_ns = 0
+
+
+class TestScaledCosts:
+    def test_tlb_flush_scales_with_pages(self):
+        machine = MachineModel()
+        small = machine.tlb_flush_cost(1_000)
+        large = machine.tlb_flush_cost(1_000_000)
+        assert large > small
+
+    def test_tlb_flush_matches_paper_at_4m_pages(self):
+        """~3.5 ms for a 16 GB region (footnote 4 of the paper)."""
+        machine = MachineModel()
+        pages_16gb = 16 * 1024**3 // 4096
+        cost_ms = machine.tlb_flush_cost(pages_16gb) / 1e6
+        assert 2.0 < cost_ms < 5.0
+
+    def test_scan_matches_paper_at_4m_pages(self):
+        """~3 ms to set/clear bits over a 16 GB region."""
+        machine = MachineModel()
+        pages_16gb = 16 * 1024**3 // 4096
+        cost_ms = machine.scan_cost(pages_16gb) / 1e6
+        assert 2.0 < cost_ms < 4.0
+
+    def test_zero_pages(self):
+        machine = MachineModel()
+        assert machine.scan_cost(0) == 0
+        assert machine.tlb_flush_cost(0) == machine.tlb_shootdown_cost_ns
+
+    def test_replace_builds_variant(self):
+        machine = MachineModel()
+        free_traps = dataclasses.replace(machine, trap_cost_ns=0)
+        assert free_traps.trap_cost_ns == 0
+        assert free_traps.page_size == machine.page_size

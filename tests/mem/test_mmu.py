@@ -1,0 +1,187 @@
+"""Unit tests for the MMU: faults, dirty-bit side effects, scan costs."""
+
+import pytest
+
+from repro.mem.machine import MachineModel
+from repro.mem.mmu import MMU, HardwareAssistedMMU
+from repro.mem.page_table import PageTable
+from repro.mem.tlb import TLB
+
+
+def build_mmu(num_pages=32, hardware=False, machine=None):
+    machine = machine if machine is not None else MachineModel()
+    table = PageTable(num_pages)
+    tlb = TLB(num_pages, machine.tlb_entries)
+    cls = HardwareAssistedMMU if hardware else MMU
+    return cls(table, tlb, machine)
+
+
+class TestReadAccess:
+    def test_read_never_faults_even_when_protected(self):
+        mmu = build_mmu()
+        assert mmu.page_table.is_write_protected(0)
+        outcome = mmu.read_access(0)
+        assert outcome.faulted is False
+
+    def test_read_charges_dram_plus_miss(self):
+        mmu = build_mmu()
+        outcome = mmu.read_access(0)
+        expected = mmu.machine.dram_access_cost_ns + mmu.machine.tlb_miss_cost_ns
+        assert outcome.cost_ns == expected
+
+    def test_second_read_is_cheaper(self):
+        mmu = build_mmu()
+        first = mmu.read_access(0)
+        second = mmu.read_access(0)
+        assert second.cost_ns < first.cost_ns
+        assert second.cost_ns == mmu.machine.dram_access_cost_ns
+
+
+class TestWriteAccess:
+    def test_write_to_protected_page_faults(self):
+        mmu = build_mmu()
+        outcome = mmu.write_access(0)
+        assert outcome.faulted is True
+        assert mmu.faults == 1
+
+    def test_faulted_write_does_not_set_dirty(self):
+        mmu = build_mmu()
+        mmu.write_access(0)
+        assert not mmu.page_table.is_dirty(0)
+
+    def test_write_after_unprotect_succeeds_and_dirties(self):
+        mmu = build_mmu()
+        mmu.unprotect_page(0)
+        outcome = mmu.write_access(0)
+        assert outcome.faulted is False
+        assert outcome.newly_dirtied is True
+        assert mmu.page_table.is_dirty(0)
+
+    def test_repeat_write_does_not_redirty(self):
+        """The TLB caches the dirty flag; later writes skip the PTE."""
+        mmu = build_mmu()
+        mmu.unprotect_page(0)
+        mmu.write_access(0)
+        outcome = mmu.write_access(0)
+        assert outcome.newly_dirtied is False
+
+    def test_write_after_scan_redirties_only_with_flush(self):
+        """The stale-dirty-bit mechanism of section 6.3."""
+        mmu = build_mmu()
+        mmu.unprotect_page(0)
+        mmu.write_access(0)
+
+        # Scan WITHOUT a TLB flush: translation keeps its cached dirty
+        # flag, so the next write leaves the PTE clean (stale view).
+        mmu.epoch_scan(flush_tlb=False)
+        mmu.write_access(0)
+        assert not mmu.page_table.is_dirty(0)
+
+        # Scan WITH a flush: the write re-marks the PTE.
+        mmu.epoch_scan(flush_tlb=True)
+        mmu.write_access(0)
+        assert mmu.page_table.is_dirty(0)
+
+
+class TestProtectionOps:
+    def test_protect_page_invalidates_tlb(self):
+        mmu = build_mmu()
+        mmu.unprotect_page(3)
+        mmu.write_access(3)
+        assert 3 in mmu.tlb
+        mmu.protect_page(3)
+        assert 3 not in mmu.tlb
+
+    def test_protect_cost(self):
+        mmu = build_mmu()
+        assert mmu.protect_page(0) == mmu.machine.pte_update_cost_ns
+        assert mmu.unprotect_page(0) == mmu.machine.pte_update_cost_ns
+
+
+class TestEpochScan:
+    def test_scan_reports_updated_pages(self):
+        mmu = build_mmu()
+        for pfn in (1, 4, 9):
+            mmu.unprotect_page(pfn)
+            mmu.write_access(pfn)
+        updated, _cost = mmu.epoch_scan()
+        assert sorted(updated.tolist()) == [1, 4, 9]
+
+    def test_scan_cost_includes_flush(self):
+        mmu = build_mmu()
+        _updated, with_flush = mmu.epoch_scan(flush_tlb=True)
+        _updated, without = mmu.epoch_scan(flush_tlb=False)
+        assert with_flush > without
+
+    def test_mismatched_sizes_rejected(self):
+        machine = MachineModel()
+        with pytest.raises(ValueError):
+            MMU(PageTable(8), TLB(16, machine.tlb_entries), machine)
+
+
+class TestHardwareAssistedMMU:
+    def test_no_fault_on_unprotected_first_write(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        outcome = mmu.write_access(0)
+        assert outcome.faulted is False
+        assert mmu.dirty_counter == 1
+
+    def test_counter_counts_unique_pages_only(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        mmu.write_access(0)
+        mmu.write_access(0)
+        mmu.write_access(1)
+        assert mmu.dirty_counter == 2
+
+    def test_on_new_dirty_fires_before_commit(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        observed = []
+        mmu.on_new_dirty = lambda pfn: observed.append(
+            (pfn, bool(mmu.page_table.shadow_dirty[pfn]), mmu.dirty_counter)
+        )
+        mmu.write_access(7)
+        # At hook time the shadow bit was still clear and counter not bumped.
+        assert observed == [(7, False, 0)]
+
+    def test_threshold_interrupt(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        raised = []
+        mmu.set_threshold(2, lambda pfn: raised.append(pfn))
+        mmu.write_access(0)
+        assert raised == []
+        mmu.write_access(1)
+        assert raised == [1]
+        assert mmu.interrupts_raised == 1
+
+    def test_page_cleaned_decrements(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        mmu.write_access(0)
+        mmu.page_cleaned(0)
+        assert mmu.dirty_counter == 0
+        assert not mmu.page_table.shadow_dirty[0]
+
+    def test_page_cleaned_idempotent(self):
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        mmu.write_access(0)
+        mmu.page_cleaned(0)
+        mmu.page_cleaned(0)
+        assert mmu.dirty_counter == 0
+
+    def test_still_faults_on_protected_page(self):
+        """The flusher protects pages mid-IO even in hardware mode."""
+        mmu = build_mmu(hardware=True)
+        mmu.page_table.write_protected[:] = False
+        mmu.protect_page(5)
+        outcome = mmu.write_access(5)
+        assert outcome.faulted is True
+
+    def test_negative_threshold_rejected(self):
+        mmu = build_mmu(hardware=True)
+        with pytest.raises(ValueError):
+            mmu.set_threshold(-1, lambda pfn: None)

@@ -1,0 +1,77 @@
+"""Tests for the battery-aging model (section 8 degradation handling)."""
+
+import pytest
+
+from repro.power.aging import AgingModel, budget_trajectory
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+
+
+class TestHealth:
+    def test_new_battery_full_health(self):
+        assert AgingModel().health_after(0) == 1.0
+
+    def test_monotone_decline(self):
+        aging = AgingModel()
+        healths = [aging.health_after(y) for y in range(8)]
+        assert healths == sorted(healths, reverse=True)
+
+    def test_paper_replacement_window(self):
+        """Section 2.2: batteries are managed for a 3-4 year life; the
+        default fade parameters reach the standard 80% end-of-life point
+        inside that window."""
+        life = AgingModel().service_life_years(end_of_life_health=0.8)
+        assert 3.0 <= life <= 5.0
+
+    def test_hot_ambient_ages_faster(self):
+        aging = AgingModel()
+        assert aging.health_after(3, hot_ambient=True) < aging.health_after(3)
+        assert aging.service_life_years(hot_ambient=True) < (
+            aging.service_life_years()
+        )
+
+    def test_health_floors_at_zero(self):
+        assert AgingModel().health_after(100) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingModel(calendar_fade_per_year=1.0)
+        with pytest.raises(ValueError):
+            AgingModel(hot_ambient_multiplier=0.5)
+        with pytest.raises(ValueError):
+            AgingModel().health_after(-1)
+        with pytest.raises(ValueError):
+            AgingModel().service_life_years(end_of_life_health=1.5)
+
+
+class TestBudgetTrajectory:
+    def build(self):
+        model = PowerModel()
+        battery = model.battery_for_dirty_bytes(1000 * 4096)
+        return battery, model
+
+    def test_budget_shrinks_each_year(self):
+        battery, model = self.build()
+        rows = budget_trajectory(battery, model, AgingModel(), years=4)
+        budgets = [row["budget_pages"] for row in rows]
+        assert budgets == sorted(budgets, reverse=True)
+        assert budgets[0] == pytest.approx(1000, abs=2)
+
+    def test_battery_not_mutated(self):
+        battery, model = self.build()
+        before = battery.health
+        budget_trajectory(battery, model, AgingModel(), years=3)
+        assert battery.health == before
+
+    def test_budget_tracks_health_linearly(self):
+        battery, model = self.build()
+        rows = budget_trajectory(battery, model, AgingModel(), years=4)
+        for row in rows:
+            assert row["budget_pages"] == pytest.approx(
+                1000 * row["health_pct"] / 100, abs=3
+            )
+
+    def test_validation(self):
+        battery, model = self.build()
+        with pytest.raises(ValueError):
+            budget_trajectory(battery, model, AgingModel(), years=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the battery model and its derating stack."""
+
+import pytest
+
+from repro.power.battery import (
+    SMARTPHONE_BATTERY_JOULES,
+    Battery,
+)
+
+
+class TestValidation:
+    def test_defaults(self):
+        battery = Battery(nominal_joules=1000)
+        assert battery.depth_of_discharge == 0.5
+        assert battery.density_derate == 0.7
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(nominal_joules=0)
+
+    def test_bad_dod(self):
+        with pytest.raises(ValueError):
+            Battery(nominal_joules=10, depth_of_discharge=0)
+        with pytest.raises(ValueError):
+            Battery(nominal_joules=10, depth_of_discharge=1.5)
+
+    def test_bad_health(self):
+        with pytest.raises(ValueError):
+            Battery(nominal_joules=10, health=0)
+
+
+class TestUsableEnergy:
+    def test_dod_halves(self):
+        battery = Battery(nominal_joules=1000, depth_of_discharge=0.5)
+        assert battery.usable_joules == 500
+
+    def test_full_dod(self):
+        battery = Battery(nominal_joules=1000, depth_of_discharge=1.0)
+        assert battery.usable_joules == 1000
+
+    def test_degrade_shrinks_usable(self):
+        battery = Battery(nominal_joules=1000)
+        before = battery.usable_joules
+        battery.degrade(0.2)
+        assert battery.usable_joules == pytest.approx(before * 0.8)
+
+    def test_degrade_compounds(self):
+        battery = Battery(nominal_joules=1000)
+        battery.degrade(0.1)
+        battery.degrade(0.1)
+        assert battery.health == pytest.approx(0.81)
+
+    def test_degrade_bounds(self):
+        battery = Battery(nominal_joules=1000)
+        with pytest.raises(ValueError):
+            battery.degrade(1.0)
+        with pytest.raises(ValueError):
+            battery.degrade(-0.1)
+
+
+class TestVolume:
+    def test_denser_cells_smaller(self):
+        consumer = Battery(nominal_joules=1000, density_derate=1.0)
+        datacenter = Battery(nominal_joules=1000, density_derate=0.7)
+        assert datacenter.volume_cm3() > consumer.volume_cm3()
+
+    def test_smartphone_equivalents_of_a_phone(self):
+        phone = Battery(
+            nominal_joules=SMARTPHONE_BATTERY_JOULES,
+            depth_of_discharge=1.0,
+            density_derate=1.0,
+        )
+        assert phone.smartphone_equivalents() == pytest.approx(1.0)
+
+    def test_bad_density(self):
+        battery = Battery(nominal_joules=10)
+        with pytest.raises(ValueError):
+            battery.volume_cm3(0)
+
+
+class TestForUsableEnergy:
+    def test_roundtrip(self):
+        battery = Battery.for_usable_energy(500, depth_of_discharge=0.5)
+        assert battery.usable_joules == pytest.approx(500)
+        assert battery.nominal_joules == pytest.approx(1000)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Battery.for_usable_energy(0)

@@ -1,0 +1,63 @@
+"""Tests for the fleet-economics model (section 2.2's cost argument)."""
+
+import pytest
+
+from repro.power.economics import BatteryCostModel, FleetSpec, fleet_capex_rows
+from repro.power.power_model import PowerModel
+
+
+class TestCostModel:
+    def test_paper_anchor_250_dollars(self):
+        """'each server's battery may cost over 250$' for a 4 TB backup."""
+        model = PowerModel()
+        cost = BatteryCostModel()
+        battery = model.battery_for_dirty_bytes(4 * 1024**4)
+        per_server = cost.battery_cost_usd(battery)
+        assert 250 < per_server < 450
+
+    def test_cost_scales_with_energy(self):
+        model = PowerModel()
+        cost = BatteryCostModel()
+        small = model.battery_for_dirty_bytes(1024**4)
+        large = model.battery_for_dirty_bytes(4 * 1024**4)
+        assert cost.battery_cost_usd(large) > 2 * cost.battery_cost_usd(small)
+
+    def test_flat_costs_floor(self):
+        cost = BatteryCostModel()
+        model = PowerModel()
+        tiny = model.battery_for_dirty_bytes(4096)
+        assert cost.battery_cost_usd(tiny) >= (
+            cost.maintenance_usd + cost.disposal_usd
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatteryCostModel(usd_per_kj=0)
+        with pytest.raises(ValueError):
+            BatteryCostModel(packaging_multiplier=0.5)
+        with pytest.raises(ValueError):
+            BatteryCostModel(maintenance_usd=-1)
+
+
+class TestFleet:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetSpec(servers=0)
+        with pytest.raises(ValueError):
+            FleetSpec(nvdram_bytes_per_server=0)
+
+    def test_paper_scale_millions(self):
+        """'several million dollars increase in capital expenditure'."""
+        rows = fleet_capex_rows(FleetSpec(), PowerModel(), BatteryCostModel())
+        full = next(row for row in rows if row["budget_fraction"] == 1.0)
+        assert full["fleet_usd_millions"] > 5
+
+    def test_viyojit_saves_most_of_it(self):
+        rows = fleet_capex_rows(FleetSpec(), PowerModel(), BatteryCostModel())
+        eleven = next(row for row in rows if row["budget_fraction"] == 0.11)
+        assert eleven["saving_vs_full_pct"] > 60
+
+    def test_rows_ordered_by_fraction_cost(self):
+        rows = fleet_capex_rows(FleetSpec(), PowerModel(), BatteryCostModel())
+        costs = [row["per_server_usd"] for row in rows]
+        assert costs == sorted(costs, reverse=True)

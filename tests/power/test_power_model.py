@@ -1,0 +1,100 @@
+"""Unit tests for the power model: battery <-> dirty-budget arithmetic."""
+
+import pytest
+
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+
+
+class TestValidation:
+    def test_defaults_build(self):
+        model = PowerModel()
+        assert model.system_watts > 0
+
+    def test_negative_watts(self):
+        with pytest.raises(ValueError):
+            PowerModel(cpu_watts=-1)
+
+    def test_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            PowerModel(ssd_flush_bandwidth_bytes_per_s=0)
+
+
+class TestPaperExample:
+    """Section 2.2: 4 TB at 4 GB/s and ~300 W needs ~300 kJ."""
+
+    def test_flush_time_4tb(self):
+        model = PowerModel()
+        four_tb = 4 * 1024**4
+        assert model.flush_time_seconds(four_tb) == pytest.approx(1100, rel=0.05)
+
+    def test_system_power_near_300w(self):
+        model = PowerModel()
+        assert model.system_watts == pytest.approx(300, rel=0.05)
+
+    def test_energy_near_300kj(self):
+        model = PowerModel()
+        energy = model.full_backup_energy(4 * 1024**4)
+        assert energy == pytest.approx(300_000, rel=0.15)
+
+    def test_seventeen_minute_shutdown(self):
+        """Section 8: flushing 4 TB at 4 GB/s takes ~17 minutes."""
+        model = PowerModel()
+        minutes = model.flush_time_seconds(4 * 1024**4) / 60
+        assert minutes == pytest.approx(17, rel=0.15)
+
+
+class TestDirtyBudget:
+    def test_budget_proportional_to_battery(self):
+        model = PowerModel()
+        small = Battery(nominal_joules=1_000)
+        large = Battery(nominal_joules=2_000)
+        assert model.dirty_budget_bytes(large) == pytest.approx(
+            2 * model.dirty_budget_bytes(small), rel=1e-9
+        )
+
+    def test_budget_roundtrip_through_battery(self):
+        """battery_for_dirty_bytes and dirty_budget_bytes are inverses."""
+        model = PowerModel()
+        want_bytes = 2 * 1024**3
+        battery = model.battery_for_dirty_bytes(want_bytes)
+        assert model.dirty_budget_bytes(battery) == pytest.approx(
+            want_bytes, rel=1e-6
+        )
+
+    def test_budget_pages(self):
+        model = PowerModel()
+        battery = model.battery_for_dirty_bytes(4096 * 100)
+        assert model.dirty_budget_pages(battery) == pytest.approx(100, abs=1)
+
+    def test_degraded_battery_smaller_budget(self):
+        """Section 8: budget retunes down as the battery wears."""
+        model = PowerModel()
+        battery = Battery(nominal_joules=10_000)
+        before = model.dirty_budget_pages(battery)
+        battery.degrade(0.3)
+        after = model.dirty_budget_pages(battery)
+        assert after < before
+        assert after == pytest.approx(before * 0.7, rel=0.01)
+
+    def test_negative_dirty_bytes(self):
+        model = PowerModel()
+        with pytest.raises(ValueError):
+            model.flush_time_seconds(-1)
+
+    def test_bad_page_size(self):
+        model = PowerModel()
+        battery = Battery(nominal_joules=100)
+        with pytest.raises(ValueError):
+            model.dirty_budget_pages(battery, page_size=0)
+
+
+class TestViyojitVsBaselineBattery:
+    def test_budget_fraction_equals_battery_fraction(self):
+        """The core decoupling claim: battery scales with the *budget*,
+        not the DRAM size."""
+        model = PowerModel()
+        nvdram = 64 * 1024**3
+        full = model.full_backup_energy(nvdram)
+        eleven_pct = model.energy_to_flush(int(nvdram * 0.11))
+        assert eleven_pct / full == pytest.approx(0.11, rel=0.01)

@@ -1,0 +1,67 @@
+"""Unit tests for the Fig 1 growth series."""
+
+import pytest
+
+from repro.power.scaling import (
+    density_gap,
+    dram_growth,
+    dram_growth_series,
+    figure1_rows,
+    lithium_growth,
+    lithium_growth_series,
+)
+
+
+class TestAnchors:
+    def test_both_start_at_one(self):
+        assert dram_growth(1990) == 1.0
+        assert lithium_growth(1990) == 1.0
+
+    def test_lithium_3x_over_25_years(self):
+        """The paper's headline: ~3.3x lithium density since 1990."""
+        assert lithium_growth(2015) == pytest.approx(3.3)
+
+    def test_dram_over_four_orders_of_magnitude(self):
+        assert dram_growth(2015) > 5e4
+
+    def test_gap_widens_monotonically(self):
+        gaps = [density_gap(year) for year in range(1990, 2021, 5)]
+        assert all(b > a for a, b in zip(gaps, gaps[1:]))
+
+    def test_gap_exceeds_10000x_by_2015(self):
+        assert density_gap(2015) > 1e4
+
+
+class TestInterpolation:
+    def test_interpolation_between_points(self):
+        mid = dram_growth(1992)
+        assert 1.0 < mid < 8.0
+
+    def test_log_linear_not_linear(self):
+        """Geometric growth: midpoint is the geometric mean."""
+        mid = dram_growth(1992.5 if False else 1992)  # 2/5 of the way
+        # Just verify it is below the arithmetic midpoint (concave in linear space).
+        assert mid < 1.0 + (8.0 - 1.0) * (2 / 5)
+
+    def test_clamps_outside_range(self):
+        assert dram_growth(1980) == 1.0
+        assert dram_growth(2030) == dram_growth(2020)
+
+
+class TestSeries:
+    def test_series_are_copies(self):
+        series = dram_growth_series()
+        series.append((2025, 1.0))
+        assert dram_growth_series()[-1][0] == 2020
+
+    def test_lithium_series_shape(self):
+        series = lithium_growth_series()
+        years = [year for year, _ in series]
+        assert years == sorted(years)
+
+    def test_figure1_rows_complete(self):
+        rows = figure1_rows()
+        assert len(rows) == 7
+        for row in rows:
+            assert {"year", "dram_growth", "lithium_growth", "gap"} <= set(row)
+        assert rows[0]["gap"] == pytest.approx(1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import NS_PER_MS, NS_PER_SEC, NS_PER_US, SimClock, ms, seconds, us
+
+
+class TestConversions:
+    def test_us(self):
+        assert us(1) == 1_000
+        assert us(2.5) == 2_500
+
+    def test_ms(self):
+        assert ms(1) == NS_PER_MS
+        assert ms(0.001) == 1_000
+
+    def test_seconds(self):
+        assert seconds(1) == NS_PER_SEC
+        assert seconds(0.5) == 500 * NS_PER_MS
+
+    def test_rounding(self):
+        assert us(0.0004) == 0
+        assert us(0.0006) == 1
+
+    def test_constants_consistent(self):
+        assert NS_PER_MS == 1000 * NS_PER_US
+        assert NS_PER_SEC == 1000 * NS_PER_MS
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(-1)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(100) == 100
+        assert clock.advance(50) == 150
+        assert clock.now == 150
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(10)
+        clock.advance(0)
+        assert clock.now == 10
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(1_000)
+        assert clock.now == 1_000
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(1_000)
+        clock.advance_to(500)
+        assert clock.now == 1_000
+
+    def test_now_seconds(self):
+        clock = SimClock()
+        clock.advance(NS_PER_SEC // 2)
+        assert clock.now_seconds == pytest.approx(0.5)
+
+    def test_repr_mentions_time(self):
+        clock = SimClock(42)
+        assert "42" in repr(clock)
+
+    def test_monotonicity_over_many_advances(self):
+        clock = SimClock()
+        last = 0
+        for delta in range(100):
+            clock.advance(delta)
+            assert clock.now >= last
+            last = clock.now

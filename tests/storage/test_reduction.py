@@ -1,0 +1,133 @@
+"""Tests for the flush-traffic reduction stage (section 7)."""
+
+import pytest
+
+from repro.storage.reduction import (
+    ContentDeduplicator,
+    ReductionPipeline,
+    ZlibCompressor,
+)
+
+
+class TestZlibCompressor:
+    def test_compressible_payload_shrinks(self):
+        compressor = ZlibCompressor()
+        result = compressor.process(b"a" * 4096)
+        assert result.physical_bytes < 200
+
+    def test_incompressible_payload_stored_raw(self):
+        import os
+
+        compressor = ZlibCompressor()
+        payload = bytes(os.urandom(4096))
+        result = compressor.process(payload)
+        assert result.physical_bytes <= len(payload)
+
+    def test_cpu_cost_linear(self):
+        compressor = ZlibCompressor(cpu_ns_per_byte=1.0)
+        small = compressor.process(b"x" * 100)
+        large = compressor.process(b"x" * 1000)
+        assert large.cpu_cost_ns == 10 * small.cpu_cost_ns
+
+    def test_stats_accumulate(self):
+        compressor = ZlibCompressor()
+        compressor.process(b"b" * 1000)
+        compressor.process(b"c" * 1000)
+        assert compressor.stats.payloads == 2
+        assert compressor.stats.logical_bytes == 2000
+        assert compressor.stats.ratio < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZlibCompressor(level=0)
+        with pytest.raises(ValueError):
+            ZlibCompressor(cpu_ns_per_byte=-1)
+        with pytest.raises(ValueError):
+            ZlibCompressor().process(b"")
+
+
+class TestDeduplicator:
+    def test_first_copy_full_size(self):
+        dedup = ContentDeduplicator()
+        result = dedup.process(b"payload" * 100)
+        assert result.physical_bytes == 700
+        assert not result.deduplicated
+
+    def test_repeat_becomes_metadata(self):
+        dedup = ContentDeduplicator()
+        dedup.process(b"payload" * 100)
+        result = dedup.process(b"payload" * 100)
+        assert result.deduplicated
+        assert result.physical_bytes == ContentDeduplicator.METADATA_BYTES
+
+    def test_distinct_payloads_not_deduped(self):
+        dedup = ContentDeduplicator()
+        dedup.process(b"one" * 100)
+        result = dedup.process(b"two" * 100)
+        assert not result.deduplicated
+        assert dedup.unique_payloads == 2
+
+    def test_hit_counting(self):
+        dedup = ContentDeduplicator()
+        for _ in range(3):
+            dedup.process(b"same" * 50)
+        assert dedup.stats.dedup_hits == 2
+
+
+class TestPipeline:
+    def test_dedup_short_circuits_compression(self):
+        pipeline = ReductionPipeline()
+        pipeline.process(b"dup" * 500)
+        result = pipeline.process(b"dup" * 500)
+        assert result.deduplicated
+        assert result.physical_bytes == ContentDeduplicator.METADATA_BYTES
+
+    def test_fresh_payloads_get_compressed(self):
+        pipeline = ReductionPipeline()
+        result = pipeline.process(b"fresh" * 500)
+        assert not result.deduplicated
+        assert result.physical_bytes < 2500
+
+    def test_pipeline_ratio_beats_either_alone(self):
+        # Workload: half repeats, half compressible-but-unique.
+        payloads = []
+        for i in range(20):
+            payloads.append(b"repeat" * 400)
+            payloads.append((b"unique%03d" % i) * 240)
+
+        def total_ratio(reducer_factory):
+            reducer = reducer_factory()
+            for payload in payloads:
+                reducer.process(payload)
+            return reducer.stats.ratio
+
+        pipeline = total_ratio(ReductionPipeline)
+        dedup_only = total_ratio(ContentDeduplicator)
+        assert pipeline < dedup_only
+
+
+class TestFlusherIntegration:
+    def test_reducer_shrinks_ssd_traffic(self):
+        from repro.core.config import ViyojitConfig
+        from repro.core.runtime import Viyojit
+        from repro.sim.events import Simulation
+
+        def run(reducer):
+            sim = Simulation()
+            system = Viyojit(
+                sim,
+                num_pages=128,
+                config=ViyojitConfig(dirty_budget_pages=4, proactive=False),
+                reducer=reducer,
+            )
+            system.start()
+            mapping = system.mmap(32 * 4096)
+            for page in range(32):
+                system.write(mapping.base_addr + page * 4096, b"v" * 512)
+            system.drain()
+            return system
+
+        plain = run(None)
+        reduced = run(ReductionPipeline())
+        assert plain.stats.bytes_flushed == reduced.stats.bytes_flushed  # logical
+        assert reduced.ssd.stats.bytes_written < plain.ssd.stats.bytes_written / 5

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in module docstrings.
+
+The package-level quick tour and the clock example are executable
+documentation; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.sim.clock
+
+
+@pytest.mark.parametrize("module", [repro, repro.sim.clock])
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,153 @@
+"""Unit tests for the Figs 2-5 trace analyses."""
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import NS_PER_SEC
+from repro.workloads.analysis import (
+    interval_write_fractions,
+    pages_for_write_percentile,
+    skew_percentiles,
+    worst_interval_fraction,
+    write_fraction_of_volume,
+    zipf_page_fraction,
+    zipf_scaling_table,
+)
+from repro.workloads.traces import VolumeSpec, VolumeTrace
+
+HOUR_NS = 3600 * NS_PER_SEC
+
+
+def trace_from(pages, times, writes, num_pages=100, duration_hours=1.0):
+    spec = VolumeSpec(
+        name="X",
+        num_pages=num_pages,
+        duration_hours=duration_hours,
+        writes_per_hour_fraction=0.0,
+    )
+    return VolumeTrace(
+        spec=spec,
+        t_ns=np.asarray(times, dtype=np.int64),
+        page=np.asarray(pages, dtype=np.int64),
+        is_write=np.asarray(writes, dtype=bool),
+    )
+
+
+class TestIntervalWrites:
+    def test_single_interval(self):
+        trace = trace_from([0, 1, 2], [0, 100, 200], [True, True, True])
+        fractions = interval_write_fractions(trace, HOUR_NS)
+        assert fractions[0] == pytest.approx(0.03)
+
+    def test_reads_not_counted(self):
+        trace = trace_from([0, 1], [0, 100], [True, False])
+        assert worst_interval_fraction(trace, HOUR_NS) == pytest.approx(0.01)
+
+    def test_worst_interval_found(self):
+        # 1 write in hour 0, 5 writes in hour 1 (trace must span 2 hours).
+        times = [0] + [HOUR_NS + i for i in range(5)]
+        trace = trace_from(
+            list(range(6)), times, [True] * 6, duration_hours=2.0
+        )
+        assert worst_interval_fraction(trace, HOUR_NS) == pytest.approx(0.05)
+
+    def test_writes_counted_as_unique_pages(self):
+        """Same page written 10x counts as 10 pages (adversarial)."""
+        trace = trace_from([3] * 10, list(range(10)), [True] * 10)
+        assert worst_interval_fraction(trace, HOUR_NS) == pytest.approx(0.10)
+
+    def test_invalid_interval(self):
+        trace = trace_from([0], [0], [True])
+        with pytest.raises(ValueError):
+            interval_write_fractions(trace, 0)
+
+    def test_empty_trace(self):
+        trace = trace_from([], [], [])
+        assert worst_interval_fraction(trace, HOUR_NS) == 0.0
+
+
+class TestPagesForPercentile:
+    def test_uniform_counts(self):
+        counts = np.array([10, 10, 10, 10])
+        assert pages_for_write_percentile(counts, 0.5) == 2
+        assert pages_for_write_percentile(counts, 1.0) == 4
+
+    def test_skewed_counts(self):
+        counts = np.array([97, 1, 1, 1])
+        assert pages_for_write_percentile(counts, 0.9) == 1
+
+    def test_zero_writes(self):
+        assert pages_for_write_percentile(np.zeros(4), 0.9) == 0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            pages_for_write_percentile(np.array([1]), 0)
+
+
+class TestSkewPercentiles:
+    def test_both_denominators(self):
+        # 10 writes on page 0, 1 on page 1; pages 2-9 read only.
+        pages = [0] * 10 + [1] + list(range(2, 10))
+        writes = [True] * 11 + [False] * 8
+        trace = trace_from(pages, list(range(19)), writes, num_pages=100)
+        result = skew_percentiles(trace, percentiles=(0.90,))
+        # 90% of 11 writes = 9.9 -> page 0 alone covers 10 -> 1 page.
+        assert result[0.90]["of_touched"] == pytest.approx(1 / 10)
+        assert result[0.90]["of_total"] == pytest.approx(1 / 100)
+
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        pages = rng.integers(0, 50, size=500)
+        trace = trace_from(pages, np.arange(500), [True] * 500, num_pages=50)
+        result = skew_percentiles(trace)
+        assert (
+            result[0.90]["of_touched"]
+            <= result[0.95]["of_touched"]
+            <= result[0.99]["of_touched"]
+        )
+
+    def test_of_total_never_exceeds_of_touched(self):
+        rng = np.random.default_rng(1)
+        pages = rng.integers(0, 30, size=200)
+        trace = trace_from(pages, np.arange(200), [True] * 200, num_pages=100)
+        result = skew_percentiles(trace)
+        for pct in result:
+            assert result[pct]["of_total"] <= result[pct]["of_touched"]
+
+
+class TestZipfScaling:
+    def test_fraction_decreases_with_page_count(self):
+        """The Fig 5 claim: more pages -> smaller hot fraction."""
+        small = zipf_page_fraction(1_000, 0.90)
+        large = zipf_page_fraction(100_000, 0.90)
+        assert large < small
+
+    def test_higher_percentile_needs_more_pages(self):
+        assert zipf_page_fraction(10_000, 0.99) > zipf_page_fraction(10_000, 0.90)
+
+    def test_full_percentile_needs_all_pages(self):
+        assert zipf_page_fraction(100, 1.0) == 1.0
+
+    def test_table_monotone_in_pages(self):
+        rows = zipf_scaling_table([1_000, 10_000, 100_000])
+        for key in ("fraction_at_90", "fraction_at_95", "fraction_at_99"):
+            values = [row[key] for row in rows]
+            assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_page_fraction(0, 0.9)
+        with pytest.raises(ValueError):
+            zipf_page_fraction(10, 1.5)
+        with pytest.raises(ValueError):
+            zipf_page_fraction(10, 0.9, theta=0)
+
+
+class TestWriteFraction:
+    def test_distinct_pages_over_volume(self):
+        trace = trace_from([0, 0, 1], [0, 1, 2], [True, True, True], num_pages=10)
+        assert write_fraction_of_volume(trace) == pytest.approx(0.2)
+
+    def test_no_writes(self):
+        trace = trace_from([0], [0], [False])
+        assert write_fraction_of_volume(trace) == 0.0

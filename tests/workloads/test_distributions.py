@@ -1,0 +1,147 @@
+"""Unit tests for the request-key distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.distributions import (
+    CounterGenerator,
+    HotspotGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    zeta,
+)
+
+
+class TestZeta:
+    def test_known_harmonic(self):
+        assert zeta(3, 1.0 - 1e-12) == pytest.approx(1 + 1 / 2 + 1 / 3, rel=1e-6)
+
+    def test_incremental_matches_direct(self):
+        direct = zeta(100, 0.99)
+        partial = zeta(60, 0.99)
+        incremental = zeta(100, 0.99, initial_sum=partial, from_n=60)
+        assert incremental == pytest.approx(direct)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zeta(5, 0.99, from_n=10)
+
+
+class TestZipfian:
+    def test_range(self):
+        gen = ZipfianGenerator(100, seed=1)
+        draws = [gen.next() for _ in range(1000)]
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_rank_zero_most_popular(self):
+        gen = ZipfianGenerator(1000, seed=2)
+        draws = [gen.next() for _ in range(5000)]
+        counts = np.bincount(draws, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_skew_head_heavy(self):
+        """With theta=0.99 over 1000 items, the top 10% takes most draws."""
+        gen = ZipfianGenerator(1000, seed=3)
+        draws = np.array([gen.next() for _ in range(20_000)])
+        head = (draws < 100).mean()
+        assert head > 0.6
+
+    def test_deterministic(self):
+        a = [ZipfianGenerator(50, seed=9).next() for _ in range(20)]
+        b = [ZipfianGenerator(50, seed=9).next() for _ in range(20)]
+        assert a == b
+
+    def test_sample_matches_distribution_shape(self):
+        gen = ZipfianGenerator(1000, seed=4)
+        batch = gen.sample(20_000)
+        assert batch.min() >= 0 and batch.max() < 1000
+        counts = np.bincount(batch, minlength=1000)
+        assert counts[0] == counts.max()
+
+    def test_grow(self):
+        gen = ZipfianGenerator(10, seed=5)
+        gen.grow_to(100)
+        draws = [gen.next() for _ in range(500)]
+        assert max(draws) >= 10  # new items reachable
+
+    def test_grow_shrink_rejected(self):
+        gen = ZipfianGenerator(10)
+        with pytest.raises(ValueError):
+            gen.grow_to(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.0)
+
+
+class TestScrambledZipfian:
+    def test_popular_items_scattered(self):
+        """The head should NOT be concentrated at low ids."""
+        gen = ScrambledZipfianGenerator(1000, seed=6)
+        draws = np.array([gen.next() for _ in range(20_000)])
+        head_mass = (draws < 100).mean()
+        assert head_mass < 0.4  # scrambling spreads the head
+
+    def test_still_skewed(self):
+        gen = ScrambledZipfianGenerator(1000, seed=7)
+        draws = [gen.next() for _ in range(20_000)]
+        counts = np.bincount(draws, minlength=1000)
+        top = np.sort(counts)[::-1][:100].sum()
+        assert top / len(draws) > 0.5
+
+    def test_sample_agrees_with_next_in_range(self):
+        gen = ScrambledZipfianGenerator(500, seed=8)
+        batch = gen.sample(1000)
+        assert batch.min() >= 0 and batch.max() < 500
+
+
+class TestLatest:
+    def test_newest_most_popular(self):
+        gen = LatestGenerator(1000, seed=9)
+        draws = np.array([gen.next() for _ in range(10_000)])
+        assert (draws > 900).mean() > 0.5
+
+    def test_grow_shifts_popularity(self):
+        gen = LatestGenerator(100, seed=10)
+        gen.grow_to(200)
+        draws = np.array([gen.next() for _ in range(5000)])
+        assert (draws > 150).mean() > 0.4
+
+
+class TestUniform:
+    def test_range_and_spread(self):
+        gen = UniformGenerator(100, seed=11)
+        draws = np.array([gen.next() for _ in range(10_000)])
+        counts = np.bincount(draws, minlength=100)
+        assert counts.min() > 0
+        assert counts.max() / counts.min() < 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformGenerator(0)
+
+
+class TestHotspot:
+    def test_hot_set_dominates(self):
+        gen = HotspotGenerator(1000, hot_fraction=0.1, hot_access_fraction=0.9, seed=12)
+        draws = np.array([gen.next() for _ in range(10_000)])
+        assert (draws < 100).mean() > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotGenerator(0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_fraction=0)
+        with pytest.raises(ValueError):
+            HotspotGenerator(10, hot_access_fraction=2)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        gen = CounterGenerator(5)
+        assert [gen.next() for _ in range(3)] == [5, 6, 7]
+        assert gen.last == 7

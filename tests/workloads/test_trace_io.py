@@ -1,0 +1,105 @@
+"""Tests for trace persistence (npz/csv round-trips)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.analysis import skew_percentiles, worst_interval_fraction
+from repro.workloads.trace_io import (
+    load_trace_csv,
+    load_trace_npz,
+    save_trace_csv,
+    save_trace_npz,
+)
+from repro.workloads.traces import VolumeSpec, generate_volume_trace
+
+
+@pytest.fixture
+def trace():
+    spec = VolumeSpec(
+        name="T",
+        num_pages=500,
+        duration_hours=0.5,
+        writes_per_hour_fraction=0.4,
+    )
+    return generate_volume_trace(spec, seed=3)
+
+
+class TestNpzRoundtrip:
+    def test_events_identical(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert np.array_equal(loaded.t_ns, trace.t_ns)
+        assert np.array_equal(loaded.page, trace.page)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+
+    def test_spec_preserved(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        assert loaded.spec.name == "T"
+        assert loaded.spec.num_pages == 500
+        assert loaded.spec.duration_hours == 0.5
+
+    def test_analyses_identical(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace_npz(trace, path)
+        loaded = load_trace_npz(path)
+        hour = 3600 * 10**9
+        assert worst_interval_fraction(loaded, hour) == (
+            worst_interval_fraction(trace, hour)
+        )
+        assert skew_percentiles(loaded) == skew_percentiles(trace)
+
+
+class TestCsvRoundtrip:
+    def test_events_identical(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(
+            path, num_pages=500, duration_hours=0.5, name="T"
+        )
+        assert np.array_equal(loaded.t_ns, trace.t_ns)
+        assert np.array_equal(loaded.page, trace.page)
+        assert np.array_equal(loaded.is_write, trace.is_write)
+
+    def test_header_checked(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path, num_pages=10, duration_hours=1)
+
+    def test_field_count_checked(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_ns,page,is_write\n1,2\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            load_trace_csv(path, num_pages=10, duration_hours=1)
+
+    def test_page_bounds_checked(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp_ns,page,is_write\n1,99,1\n")
+        with pytest.raises(ValueError, match="outside"):
+            load_trace_csv(path, num_pages=10, duration_hours=1)
+
+    def test_events_sorted_on_load(self, tmp_path):
+        path = tmp_path / "unsorted.csv"
+        path.write_text(
+            "timestamp_ns,page,is_write\n500,1,1\n100,2,0\n300,3,1\n"
+        )
+        loaded = load_trace_csv(path, num_pages=10, duration_hours=1)
+        assert loaded.t_ns.tolist() == [100, 300, 500]
+        assert loaded.page.tolist() == [2, 3, 1]
+
+    def test_geometry_validation(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("timestamp_ns,page,is_write\n")
+        with pytest.raises(ValueError):
+            load_trace_csv(path, num_pages=0, duration_hours=1)
+        with pytest.raises(ValueError):
+            load_trace_csv(path, num_pages=10, duration_hours=0)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("timestamp_ns,page,is_write\n")
+        loaded = load_trace_csv(path, num_pages=10, duration_hours=1)
+        assert len(loaded) == 0

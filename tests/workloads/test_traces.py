@@ -1,0 +1,162 @@
+"""Unit tests for the synthetic datacenter trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import (
+    APPLICATIONS,
+    VolumeSpec,
+    application_volumes,
+    generate_volume_trace,
+    scaled_spec,
+)
+
+
+def small_spec(**overrides) -> VolumeSpec:
+    base = dict(
+        name="T",
+        num_pages=2000,
+        duration_hours=2.0,
+        writes_per_hour_fraction=0.1,
+    )
+    base.update(overrides)
+    return VolumeSpec(**base)
+
+
+class TestSpecValidation:
+    def test_defaults(self):
+        spec = small_spec()
+        assert spec.total_writes == 400  # 0.1 * 2000 * 2h
+
+    def test_bad_pages(self):
+        with pytest.raises(ValueError):
+            small_spec(num_pages=0)
+
+    def test_bad_skew(self):
+        with pytest.raises(ValueError):
+            small_spec(write_skew="weird")
+
+    def test_bad_footprint(self):
+        with pytest.raises(ValueError):
+            small_spec(write_footprint_fraction=0)
+        with pytest.raises(ValueError):
+            small_spec(write_footprint_fraction=1.5)
+
+    def test_bad_burstiness(self):
+        with pytest.raises(ValueError):
+            small_spec(burstiness=-0.1)
+
+    def test_duration_ns(self):
+        assert small_spec(duration_hours=1).duration_ns == 3600 * 10**9
+
+
+class TestGeneration:
+    def test_trace_shape(self):
+        trace = generate_volume_trace(small_spec(), seed=1)
+        assert len(trace) == len(trace.t_ns) == len(trace.page)
+        assert trace.is_write.sum() == trace.spec.total_writes
+
+    def test_times_sorted_and_in_range(self):
+        trace = generate_volume_trace(small_spec(), seed=2)
+        assert (np.diff(trace.t_ns) >= 0).all()
+        assert trace.t_ns.min() >= 0
+        assert trace.t_ns.max() <= trace.spec.duration_ns
+
+    def test_pages_in_range(self):
+        trace = generate_volume_trace(small_spec(), seed=3)
+        assert trace.page.min() >= 0
+        assert trace.page.max() < trace.spec.num_pages
+
+    def test_deterministic(self):
+        a = generate_volume_trace(small_spec(), seed=4)
+        b = generate_volume_trace(small_spec(), seed=4)
+        assert np.array_equal(a.page, b.page)
+        assert np.array_equal(a.t_ns, b.t_ns)
+
+    def test_unique_writes_never_repeat_before_wrap(self):
+        spec = small_spec(write_skew="unique", writes_per_hour_fraction=0.2)
+        trace = generate_volume_trace(spec, seed=5)
+        writes = trace.writes
+        assert len(np.unique(writes)) == len(writes)  # fewer writes than pages
+
+    def test_unique_writes_wrap_when_exhausted(self):
+        spec = small_spec(
+            write_skew="unique", num_pages=100, writes_per_hour_fraction=1.0
+        )
+        trace = generate_volume_trace(spec, seed=6)
+        assert len(trace.writes) == 200
+        assert len(np.unique(trace.writes)) == 100
+
+    def test_zipf_writes_are_skewed(self):
+        spec = small_spec(
+            write_skew="zipf", zipf_theta=0.95, writes_per_hour_fraction=1.0,
+            write_footprint_fraction=0.5,
+        )
+        trace = generate_volume_trace(spec, seed=7)
+        counts = np.bincount(trace.writes, minlength=spec.num_pages)
+        top_decile = np.sort(counts)[::-1][: spec.num_pages // 10].sum()
+        assert top_decile / counts.sum() > 0.5
+
+    def test_read_multiple(self):
+        spec = small_spec(read_ops_multiple=3.0)
+        trace = generate_volume_trace(spec, seed=8)
+        reads = (~trace.is_write).sum()
+        assert reads == pytest.approx(3 * trace.is_write.sum(), rel=0.01)
+
+    def test_touched_pages_counts_reads_and_writes(self):
+        trace = generate_volume_trace(small_spec(), seed=9)
+        manual = len(np.unique(trace.page))
+        assert trace.touched_pages == manual
+
+    def test_mismatched_arrays_rejected(self):
+        trace = generate_volume_trace(small_spec(), seed=10)
+        from repro.workloads.traces import VolumeTrace
+
+        with pytest.raises(ValueError):
+            VolumeTrace(
+                spec=trace.spec,
+                t_ns=trace.t_ns[:-1],
+                page=trace.page,
+                is_write=trace.is_write,
+            )
+
+
+class TestApplicationTable:
+    def test_four_applications(self):
+        assert set(APPLICATIONS) == {
+            "azure_blob",
+            "cosmos",
+            "page_rank",
+            "search_index",
+        }
+
+    def test_volume_counts_match_paper_panels(self):
+        assert len(APPLICATIONS["azure_blob"]) == 8   # A-H
+        assert len(APPLICATIONS["cosmos"]) == 7       # A-G
+        assert len(APPLICATIONS["page_rank"]) == 6    # A-F
+        assert len(APPLICATIONS["search_index"]) == 6 # A-F
+
+    def test_cosmos_trace_is_3_5_hours(self):
+        for spec in APPLICATIONS["cosmos"]:
+            assert spec.duration_hours == 3.5
+        for spec in APPLICATIONS["azure_blob"]:
+            assert spec.duration_hours == 24
+
+    def test_application_volumes_copies(self):
+        volumes = application_volumes("cosmos")
+        volumes.pop()
+        assert len(application_volumes("cosmos")) == 7
+
+    def test_unknown_application(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            application_volumes("bing")
+
+    def test_scaled_spec(self):
+        spec = APPLICATIONS["cosmos"][0]
+        small = scaled_spec(spec, 0.1)
+        assert small.num_pages == pytest.approx(spec.num_pages * 0.1, rel=0.01)
+        assert small.writes_per_hour_fraction == spec.writes_per_hour_fraction
+
+    def test_scaled_spec_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_spec(APPLICATIONS["cosmos"][0], 0)

@@ -1,0 +1,125 @@
+"""Unit tests for the YCSB workload mixes."""
+
+import collections
+
+import pytest
+
+from repro.workloads.ycsb import (
+    WorkloadSpec,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_F,
+    YCSB_WORKLOADS,
+    generate_operations,
+    load_operations,
+    make_key,
+)
+
+
+class TestSpecs:
+    def test_all_six_defined(self):
+        """A/B/C/D/F from the paper, plus E (the paper's future work)."""
+        assert set(YCSB_WORKLOADS) == {
+            "YCSB-A",
+            "YCSB-B",
+            "YCSB-C",
+            "YCSB-D",
+            "YCSB-E",
+            "YCSB-F",
+        }
+
+    def test_paper_mixes(self):
+        assert YCSB_A.read_proportion == 0.5 and YCSB_A.update_proportion == 0.5
+        assert YCSB_B.read_proportion == 0.95
+        assert YCSB_C.read_proportion == 1.0
+        assert YCSB_D.insert_proportion == 0.05
+        assert YCSB_F.rmw_proportion == 0.5
+
+    def test_d_uses_latest_distribution(self):
+        assert YCSB_D.request_distribution == "latest"
+
+    def test_proportions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 0.5, 0.2, 0.0, 0.0, "zipfian")
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("bad", 1.0, 0.0, 0.0, 0.0, "pareto")
+
+
+class TestKeyFormat:
+    def test_fixed_width(self):
+        assert make_key(0) == b"user00000000000000000000"
+        assert len(make_key(12345)) == len(make_key(0))
+
+
+class TestGeneration:
+    def test_mix_matches_spec(self):
+        ops = list(generate_operations(YCSB_A, 100, 10_000, seed=1))
+        kinds = collections.Counter(op.kind for op in ops)
+        assert kinds["read"] / len(ops) == pytest.approx(0.5, abs=0.03)
+        assert kinds["update"] / len(ops) == pytest.approx(0.5, abs=0.03)
+
+    def test_c_is_read_only(self):
+        ops = list(generate_operations(YCSB_C, 100, 1000, seed=2))
+        assert all(op.kind == "read" for op in ops)
+
+    def test_d_inserts_fresh_keys(self):
+        ops = list(generate_operations(YCSB_D, 100, 2000, seed=3))
+        inserts = [op for op in ops if op.kind == "insert"]
+        assert inserts
+        keys = [op.key for op in inserts]
+        assert len(keys) == len(set(keys))  # each insert key is new
+        assert min(keys) >= make_key(100)   # beyond the loaded range
+
+    def test_f_has_rmw(self):
+        ops = list(generate_operations(YCSB_F, 100, 2000, seed=4))
+        kinds = collections.Counter(op.kind for op in ops)
+        assert kinds["rmw"] / len(ops) == pytest.approx(0.5, abs=0.05)
+
+    def test_value_size_attached_to_mutations(self):
+        ops = list(generate_operations(YCSB_A, 100, 200, value_size=512, seed=5))
+        for op in ops:
+            if op.kind in ("update", "insert", "rmw"):
+                assert op.value_size == 512
+            else:
+                assert op.value_size == 0
+
+    def test_deterministic(self):
+        a = list(generate_operations(YCSB_A, 50, 100, seed=6))
+        b = list(generate_operations(YCSB_A, 50, 100, seed=6))
+        assert a == b
+
+    def test_keys_within_loaded_range_for_non_insert(self):
+        ops = list(generate_operations(YCSB_B, 100, 1000, seed=7))
+        for op in ops:
+            assert op.key < make_key(100)
+
+    def test_requests_are_skewed(self):
+        ops = list(generate_operations(YCSB_C, 1000, 10_000, seed=8))
+        counts = collections.Counter(op.key for op in ops)
+        top_100 = sum(count for _key, count in counts.most_common(100))
+        assert top_100 / len(ops) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(generate_operations(YCSB_A, 0, 10))
+        with pytest.raises(ValueError):
+            list(generate_operations(YCSB_A, 10, -1))
+        with pytest.raises(ValueError):
+            list(generate_operations(YCSB_A, 10, 10, value_size=0))
+
+
+class TestLoadPhase:
+    def test_sequential_inserts(self):
+        ops = list(load_operations(10, value_size=100))
+        assert len(ops) == 10
+        assert all(op.kind == "insert" for op in ops)
+        assert ops[0].key == make_key(0)
+        assert ops[-1].key == make_key(9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(load_operations(0))
