@@ -34,6 +34,10 @@ Package map
     and the section 3 trace analyses.
 ``repro.bench``
     The harness regenerating every evaluation figure (Figs 1-5, 7-10).
+``repro.obs``
+    Structured observability: typed event tracing (no-op by default), a
+    metrics registry with latency histograms and the per-epoch timeline,
+    and deterministic JSON/CSV trace export (``python -m repro trace``).
 """
 
 from repro.core import (
@@ -44,6 +48,7 @@ from repro.core import (
     ViyojitConfig,
 )
 from repro.mem import MachineModel, NVDRAMRegion
+from repro.obs import NULL_TRACER, MetricsRegistry, RecordingTracer, Tracer
 from repro.power import Battery, PowerModel
 from repro.sim import Simulation
 from repro.storage import SSD, BackingStore
@@ -63,5 +68,9 @@ __all__ = [
     "BackingStore",
     "Battery",
     "PowerModel",
+    "Tracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
     "__version__",
 ]

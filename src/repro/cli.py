@@ -11,6 +11,7 @@ Usage::
     python -m repro sizing                    # section 2.2 battery math
     python -m repro ablation                  # stale dirty bits (6.3)
     python -m repro policies                  # victim-policy comparison
+    python -m repro trace [--system viyojit]  # structured event trace (JSON/CSV)
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
 asserts on, so the CLI and the test suite cannot drift apart.
@@ -59,6 +60,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "sizing", "regenerates": "Section 2.2: battery sizing"},
         {"command": "ablation", "regenerates": "Section 6.3: stale dirty bits"},
         {"command": "policies", "regenerates": "Victim-policy comparison"},
+        {"command": "trace", "regenerates": "Structured event trace + epoch timeline"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
     return 0
@@ -216,6 +218,42 @@ def cmd_economics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import events_to_csv, timeline_to_csv, to_json
+    from repro.obs.harness import TraceWorkload, run_traced_workload
+    from repro.obs.tracer import RecordingTracer
+
+    spec = TraceWorkload(
+        system=args.system,
+        num_pages=args.pages,
+        dirty_budget_pages=args.budget,
+        hot_pages=args.hot_pages,
+        ops=args.ops,
+        seed=args.seed,
+        theta=args.theta,
+    )
+    tracer = RecordingTracer()
+    result = run_traced_workload(spec, tracer)
+    if args.format == "json":
+        text = to_json(result)
+    else:
+        text = events_to_csv(tracer.events)
+        timeline = tracer.metrics.timeline.points()
+        if timeline:
+            text += "\n" + timeline_to_csv(timeline)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(tracer.events)} events "
+            f"({spec.system}, seed {spec.seed}) to {args.out}",
+            file=sys.stderr,
+        )
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_ablation(args: argparse.Namespace) -> int:
     rows = experiments.stale_bits_ablation(scale=_scale_from(args))
     print(format_table(rows, title="Section 6.3: stale dirty bits (YCSB-A, 11%)"))
@@ -311,6 +349,30 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--records", type=int, default=2000)
         p.add_argument("--ops", type=int, default=6000)
         p.set_defaults(func=func)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a seeded zipfian workload, dump the structured "
+        "event log + epoch timeline (deterministic under a fixed seed)",
+    )
+    trace.add_argument("--system", default="viyojit",
+                       choices=("viyojit", "nvdram", "hardware"),
+                       help="runtime variant to trace (default viyojit)")
+    trace.add_argument("--pages", type=int, default=192,
+                       help="NV-DRAM region size in pages")
+    trace.add_argument("--budget", type=int, default=12,
+                       help="dirty budget in pages (ignored for nvdram)")
+    trace.add_argument("--hot-pages", type=int, default=64,
+                       help="zipfian key space in pages")
+    trace.add_argument("--ops", type=int, default=400,
+                       help="operations to replay")
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--theta", type=float, default=0.99,
+                       help="zipfian skew (default 0.99)")
+    trace.add_argument("--format", choices=("json", "csv"), default="json")
+    trace.add_argument("--out", type=str, default=None,
+                       help="write to a file instead of stdout")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

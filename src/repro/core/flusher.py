@@ -25,6 +25,8 @@ from repro.core.dirty_tracker import DirtyTracker
 from repro.core.stats import ViyojitStats
 from repro.mem.mmu import MMU
 from repro.mem.nvdram import NVDRAMRegion
+from repro.obs.events import FlushComplete
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import Simulation
 from repro.storage.backing_store import BackingStore
 from repro.storage.ssd import SSD
@@ -45,6 +47,7 @@ class Flusher:
         max_outstanding: int = 16,
         on_cleaned=None,
         reducer=None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sim = sim
         self.mmu = mmu
@@ -61,6 +64,10 @@ class Flusher:
         # flushes only a page's dirty blocks; default = the whole page).
         self.flush_bytes_of = None
         self._inflight: Dict[int, int] = {}  # pfn -> completion time (ns)
+        self.tracer = tracer
+        self._flush_latency = (
+            tracer.metrics.histogram("flush_latency_ns") if tracer.enabled else None
+        )
 
     @property
     def outstanding(self) -> int:
@@ -118,7 +125,8 @@ class Flusher:
             reduced = self.reducer.process(data[:nbytes])
             physical = max(1, reduced.physical_bytes)
             cost += reduced.cpu_cost_ns
-        completion = self.ssd.submit_write(self.sim.now, physical)
+        issued_at = self.sim.now
+        completion = self.ssd.submit_write(issued_at, physical)
         self._inflight[pfn] = completion
         self.stats.pages_flushed += 1
         self.stats.bytes_flushed += nbytes
@@ -128,6 +136,12 @@ class Flusher:
             self.tracker.remove(pfn)
             del self._inflight[pfn]
             self.stats.flush_completions += 1
+            if self.tracer.enabled:
+                latency = completion - issued_at
+                self.tracer.emit(
+                    FlushComplete(t=completion, pfn=pfn, latency_ns=latency)
+                )
+                self._flush_latency.observe(latency)
             cleaned = getattr(self.mmu, "page_cleaned", None)
             if cleaned is not None:
                 cleaned(pfn)

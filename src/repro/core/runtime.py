@@ -41,6 +41,9 @@ from repro.mem.mmu import MMU, HardwareAssistedMMU
 from repro.mem.nvdram import NVDRAMRegion
 from repro.mem.page_table import PageTable
 from repro.mem.tlb import TLB
+from repro.obs.events import BudgetWait, EpochScan, ProactiveFlush, SyncEviction
+from repro.obs.metrics import EpochPoint
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import Simulation
 from repro.storage.backing_store import BackingStore
 from repro.storage.ssd import SSD
@@ -80,13 +83,20 @@ class NVDRAMSystem:
         sim: Simulation,
         num_pages: int,
         machine: Optional[MachineModel] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.sim = sim
         self.machine = machine if machine is not None else MachineModel()
+        # Observability: the no-op NULL_TRACER by default, so every
+        # instrumentation site reduces to one falsy branch.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind_clock(sim.clock)
         self.region = NVDRAMRegion(num_pages, self.machine.page_size)
         self.page_table = PageTable(num_pages)
         self.tlb = TLB(num_pages, self.machine.tlb_entries)
+        self.tlb.tracer = self.tracer
         self.mmu = self._build_mmu()
+        self.mmu.tracer = self.tracer
         self._next_page = 0
         self._free_chunks: List[Tuple[int, int]] = []  # (base_page, num_pages)
         self._started = False
@@ -260,8 +270,9 @@ class Viyojit(NVDRAMSystem):
         backing: Optional[BackingStore] = None,
         machine: Optional[MachineModel] = None,
         reducer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
-        super().__init__(sim, num_pages, machine)
+        super().__init__(sim, num_pages, machine, tracer=tracer)
         if config.dirty_budget_pages > num_pages:
             raise ValueError(
                 f"dirty budget of {config.dirty_budget_pages} pages exceeds "
@@ -269,6 +280,7 @@ class Viyojit(NVDRAMSystem):
             )
         self.config = config
         self.ssd = ssd if ssd is not None else SSD()
+        self.ssd.tracer = self.tracer
         self.backing = (
             backing
             if backing is not None
@@ -294,6 +306,7 @@ class Viyojit(NVDRAMSystem):
             max_outstanding=config.max_outstanding_io,
             on_cleaned=self._on_flush_cleaned,
             reducer=reducer,
+            tracer=self.tracer,
         )
         self._victim_queue: Deque[int] = deque()
         # Current proactive trigger (recomputed each epoch).  The copier
@@ -301,6 +314,15 @@ class Viyojit(NVDRAMSystem):
         # epoch-tick activity: completions refill the IO pipe immediately
         # whenever the dirty count still exceeds the threshold.
         self._proactive_threshold = config.dirty_budget_pages
+        # Metric instruments, bound once so the hot path pays a plain
+        # attribute access (None when the tracer is the no-op default).
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            self._h_fault = metrics.histogram("fault_handler_ns")
+            self._h_blocked = metrics.histogram("blocked_ns")
+        else:
+            self._h_fault = None
+            self._h_blocked = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -338,9 +360,13 @@ class Viyojit(NVDRAMSystem):
             return
         before = self.sim.now
         self.sim.run_until(when_ns)
-        self.stats.blocked_time_ns += self.sim.now - before
+        blocked = self.sim.now - before
+        self.stats.blocked_time_ns += blocked
+        if self._h_blocked is not None and blocked > 0:
+            self._h_blocked.observe(blocked)
 
     def _handle_fault(self, pfn: int) -> None:
+        entered_at = self.sim.now
         self.stats.write_faults += 1
         self.stats.trap_time_ns += self.machine.trap_cost_ns
         self._advance(self.machine.trap_cost_ns)
@@ -360,7 +386,12 @@ class Viyojit(NVDRAMSystem):
                 # Every dirty page is already in flight; the budget frees
                 # up as soon as the earliest IO completes.
                 self.stats.budget_waits += 1
+                wait_from = self.sim.now
                 self._wait_until(self.flusher.earliest_completion())
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        BudgetWait(t=wait_from, wait_ns=self.sim.now - wait_from)
+                    )
                 continue
             if not self.flusher.has_slot():
                 self._wait_until(self.flusher.earliest_completion())
@@ -368,6 +399,12 @@ class Viyojit(NVDRAMSystem):
             issue_cost = self.flusher.issue(victim)
             self._advance(issue_cost)
             self.stats.sync_evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    SyncEviction(
+                        t=self.sim.now, pfn=victim, dirty=self.tracker.count
+                    )
+                )
             self._wait_until(self.flusher.completion_time(victim))
 
         cost = self.mmu.unprotect_page(pfn)
@@ -377,6 +414,8 @@ class Viyojit(NVDRAMSystem):
         self.policy.note_dirtied(pfn)
         self.stats.pages_dirtied += 1
         self.stats.record_dirty_level(self.tracker.count)
+        if self._h_fault is not None:
+            self._h_fault.observe(self.sim.now - entered_at)
 
     # -- victim selection ------------------------------------------------------
 
@@ -416,7 +455,42 @@ class Viyojit(NVDRAMSystem):
             self._proactive_flush()
         self.stats.epochs += 1
         self.stats.record_dirty_level(self.tracker.count)
+        if self.tracer.enabled:
+            self._note_epoch(len(updated), new_dirty)
         self.sim.schedule_after(self.config.epoch_ns, self._on_epoch)
+
+    def _note_epoch(self, updated: int, new_dirty: int) -> None:
+        """Emit the epoch's trace event, gauges, and timeline point."""
+        t = self.sim.now
+        dirty = self.tracker.count
+        pressure = self.pressure.pressure
+        threshold = self._proactive_threshold
+        self.tracer.emit(
+            EpochScan(
+                t=t,
+                epoch=self.stats.epochs,
+                updated=updated,
+                new_dirty=new_dirty,
+                dirty=dirty,
+                pressure=pressure,
+                threshold=threshold,
+            )
+        )
+        metrics = self.tracer.metrics
+        metrics.gauge("dirty_pages").set(dirty)
+        metrics.gauge("pressure").set(pressure)
+        metrics.gauge("flush_threshold").set(threshold)
+        metrics.timeline.record(
+            EpochPoint(
+                epoch=self.stats.epochs,
+                t=t,
+                dirty=dirty,
+                new_dirty=new_dirty,
+                pressure=pressure,
+                threshold=threshold,
+                outstanding=self.flusher.outstanding,
+            )
+        )
 
     def _proactive_flush(self) -> None:
         self._proactive_threshold = self.pressure.threshold(
@@ -434,6 +508,15 @@ class Viyojit(NVDRAMSystem):
             issue_cost = self.flusher.issue(victim)
             self.sim.clock.advance(issue_cost)
             self.stats.proactive_flushes += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    ProactiveFlush(
+                        t=self.sim.now,
+                        pfn=victim,
+                        dirty=self.tracker.count,
+                        threshold=self._proactive_threshold,
+                    )
+                )
             excess -= 1
 
     def _on_flush_cleaned(self, pfn: int) -> None:
@@ -456,6 +539,15 @@ class Viyojit(NVDRAMSystem):
                 issue_cost = self.flusher.issue(victim)
                 self.sim.clock.advance(issue_cost)
                 self.stats.proactive_flushes += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        ProactiveFlush(
+                            t=self.sim.now,
+                            pfn=victim,
+                            dirty=self.tracker.count,
+                            threshold=self._proactive_threshold,
+                        )
+                    )
 
     # -- durability interface ----------------------------------------------------
 
@@ -560,6 +652,7 @@ class HardwareViyojit(Viyojit):
 
     def _handle_fault(self, pfn: int) -> None:
         # Stores can still fault on pages the flusher protected mid-IO.
+        entered_at = self.sim.now
         self.stats.write_faults += 1
         self.stats.trap_time_ns += self.machine.trap_cost_ns
         self._advance(self.machine.trap_cost_ns)
@@ -574,13 +667,20 @@ class HardwareViyojit(Viyojit):
         self.policy.note_dirtied(pfn)
         self.stats.pages_dirtied += 1
         self.stats.record_dirty_level(self.tracker.count)
+        if self._h_fault is not None:
+            self._h_fault.observe(self.sim.now - entered_at)
 
     def _make_room(self) -> None:
         while self.tracker.at_budget:
             victim = self._next_victim()
             if victim is None:
                 self.stats.budget_waits += 1
+                wait_from = self.sim.now
                 self._wait_until(self.flusher.earliest_completion())
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        BudgetWait(t=wait_from, wait_ns=self.sim.now - wait_from)
+                    )
                 continue
             if not self.flusher.has_slot():
                 self._wait_until(self.flusher.earliest_completion())
@@ -588,6 +688,12 @@ class HardwareViyojit(Viyojit):
             issue_cost = self.flusher.issue(victim)
             self._advance(issue_cost)
             self.stats.sync_evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    SyncEviction(
+                        t=self.sim.now, pfn=victim, dirty=self.tracker.count
+                    )
+                )
             self._wait_until(self.flusher.completion_time(victim))
 
     def _on_hardware_new_dirty(self, pfn: int) -> None:

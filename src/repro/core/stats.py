@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: Retention cap for :attr:`ViyojitStats.dirty_page_samples`.  When the
+#: cap is reached the series is decimated (every other sample dropped)
+#: and the sampling stride doubles, so memory stays O(cap) for
+#: arbitrarily long runs while the kept samples remain an evenly spaced,
+#: deterministic subsample of the dirty-level history.
+MAX_DIRTY_SAMPLES = 2048
+
 
 @dataclass
 class ViyojitStats:
@@ -34,10 +41,30 @@ class ViyojitStats:
 
     peak_dirty_pages: int = 0
     dirty_page_samples: list = field(default_factory=list, repr=False)
+    _sample_stride: int = field(default=1, repr=False)
+    _sample_ticks: int = field(default=0, repr=False)
 
     def record_dirty_level(self, count: int) -> None:
+        """Fold one dirty-count observation in (fault path + epoch tick).
+
+        Keeps the running peak and a bounded, stride-decimated series of
+        samples — the raw material for dirty-level timelines without the
+        unbounded growth a naive append would have on long runs.
+        """
         if count > self.peak_dirty_pages:
             self.peak_dirty_pages = count
+        if self._sample_ticks % self._sample_stride == 0:
+            self.dirty_page_samples.append(count)
+            if len(self.dirty_page_samples) >= MAX_DIRTY_SAMPLES:
+                self.dirty_page_samples = self.dirty_page_samples[::2]
+                self._sample_stride *= 2
+        self._sample_ticks += 1
+
+    def mean_dirty_pages(self) -> float:
+        """Mean of the retained dirty-level samples (0.0 when unsampled)."""
+        if not self.dirty_page_samples:
+            return 0.0
+        return sum(self.dirty_page_samples) / len(self.dirty_page_samples)
 
     def summary(self) -> dict:
         """Flat dict view for reporting tables."""
@@ -57,4 +84,6 @@ class ViyojitStats:
             "pages_flushed": self.pages_flushed,
             "bytes_flushed": self.bytes_flushed,
             "peak_dirty_pages": self.peak_dirty_pages,
+            "dirty_samples": len(self.dirty_page_samples),
+            "mean_dirty_pages": round(self.mean_dirty_pages(), 3),
         }

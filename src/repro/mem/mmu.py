@@ -20,6 +20,8 @@ from typing import Callable, Optional
 from repro.mem.machine import MachineModel
 from repro.mem.page_table import PageTable
 from repro.mem.tlb import TLB
+from repro.obs.events import WriteFault
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class WriteProtectionFault(Exception):
@@ -53,6 +55,12 @@ class AccessOutcome:
 
 class MMU:
     """Software-managed MMU over one page table + TLB pair."""
+
+    #: Observability hook; the runtime swaps in a recording tracer.  The
+    #: MMU is the emitter for :class:`WriteFault` because it is the
+    #: architectural fault point — one site covers both the software and
+    #: the hardware-assisted variants.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, page_table: PageTable, tlb: TLB, machine: MachineModel) -> None:
         if page_table.num_pages != tlb.num_pages:
@@ -91,6 +99,8 @@ class MMU:
         cost = self._translate_cost(pfn)
         if self.page_table.is_write_protected(pfn):
             self.faults += 1
+            if self.tracer.enabled:
+                self.tracer.emit(WriteFault(t=self.tracer.now(), pfn=pfn))
             return AccessOutcome(cost_ns=cost, faulted=True)
         newly_dirtied = False
         if not self.tlb.dirty_cached(pfn):
@@ -174,6 +184,8 @@ class HardwareAssistedMMU(MMU):
         cost = self._translate_cost(pfn)
         if self.page_table.is_write_protected(pfn):
             self.faults += 1
+            if self.tracer.enabled:
+                self.tracer.emit(WriteFault(t=self.tracer.now(), pfn=pfn))
             return AccessOutcome(cost_ns=cost, faulted=True)
         newly_dirtied = False
         if not self.tlb.dirty_cached(pfn):

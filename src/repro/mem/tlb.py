@@ -29,8 +29,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro.obs.events import TLBFlush
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
 class TLB:
     """Translation cache for one region: ``capacity`` entries, LRU eviction."""
+
+    #: Observability hook; the runtime swaps in a recording tracer.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(self, num_pages: int, capacity: int = 1536) -> None:
         if num_pages <= 0:
@@ -94,5 +101,9 @@ class TLB:
 
     def flush_all(self) -> None:
         """Full flush — required before each epoch scan for fresh dirty bits."""
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TLBFlush(t=self.tracer.now(), entries=len(self._entries))
+            )
         self._entries.clear()
         self.flushes += 1

@@ -1,0 +1,66 @@
+"""Structured observability: typed event tracing + a metrics registry.
+
+The paper's evaluation (Figs 7-9) is explained entirely by low-level
+events — write-protection traps, TLB flushes, synchronous evictions,
+proactive flushes — but cumulative counters alone cannot show *when* or
+*in what order* they happened.  This package adds:
+
+* :mod:`repro.obs.events` — frozen dataclasses, one per event type, all
+  stamped with virtual-time nanoseconds;
+* :mod:`repro.obs.tracer` — :class:`Tracer`, a no-op base installed by
+  default (the uninstrumented path stays fast), and
+  :class:`RecordingTracer`, which appends events in order and owns a
+  :class:`MetricsRegistry`;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket latency
+  histograms, and the per-epoch timeline (dirty count, pressure, flush
+  threshold);
+* :mod:`repro.obs.export` — deterministic JSON/CSV serialisation;
+* :mod:`repro.obs.harness` — the seeded zipfian workload behind the
+  ``repro trace`` CLI subcommand and the golden-trace regression suite.
+
+Because all timestamps are virtual and every generator is seeded, two
+runs of the same workload produce byte-for-byte identical trace dumps —
+traces double as regression oracles.
+"""
+
+from repro.obs.events import (
+    BudgetWait,
+    EpochScan,
+    FlushComplete,
+    ProactiveFlush,
+    SSDWrite,
+    SyncEviction,
+    TLBFlush,
+    TraceEvent,
+    WriteFault,
+)
+from repro.obs.metrics import (
+    Counter,
+    EpochPoint,
+    EpochTimeline,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
+
+__all__ = [
+    "TraceEvent",
+    "WriteFault",
+    "SyncEviction",
+    "ProactiveFlush",
+    "EpochScan",
+    "TLBFlush",
+    "SSDWrite",
+    "BudgetWait",
+    "FlushComplete",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EpochPoint",
+    "EpochTimeline",
+    "MetricsRegistry",
+    "Tracer",
+    "RecordingTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,159 @@
+"""Typed trace events, stamped with virtual-time nanoseconds.
+
+Each event is a frozen dataclass whose first field ``t`` is the virtual
+timestamp at which it logically happened.  Event order is the order of
+emission (the tracer's list index is the sequence number), which is
+deterministic because the whole simulation is: simultaneous events fire
+in scheduling order and every workload generator is seeded.
+
+The vocabulary maps one-to-one onto the mechanisms of the paper:
+
+==================  =====================================================
+event               emitted by / meaning
+==================  =====================================================
+:class:`WriteFault`      MMU — a store hit a write-protected page (Fig 6
+                         step 2); covers both first-write traps and
+                         stores landing on a page mid-flush.
+:class:`SyncEviction`    runtime fault handler — the budget was full, the
+                         coldest dirty page was synchronously written out
+                         (Fig 6 steps 5-7).
+:class:`ProactiveFlush`  background copier — a cold page was flushed
+                         because the dirty count exceeded
+                         ``budget - pressure`` (section 5.3).
+:class:`EpochScan`       epoch tick — dirty bits walked + cleared,
+                         recency history and pressure updated
+                         (sections 5.2-5.3).
+:class:`TLBFlush`        TLB — a full flush (epoch-scan prologue or
+                         region start).
+:class:`SSDWrite`        SSD — one write accepted by the device, with its
+                         queueing delay and completion time.
+:class:`BudgetWait`      runtime fault handler — every dirty page was
+                         already in flight, so the handler stalled until
+                         the earliest IO completed.
+:class:`FlushComplete`   flusher — a page write-out was acknowledged; the
+                         page left the dirty set.
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple, Type
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: ``t`` is virtual nanoseconds since simulation start."""
+
+    t: int
+
+    @property
+    def type_name(self) -> str:
+        return type(self).__name__
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict with a ``type`` discriminator, for JSON/CSV export."""
+        out: Dict[str, object] = {"type": self.type_name}
+        for f in fields(self):
+            out[f.name] = getattr(self, f.name)
+        return out
+
+
+@dataclass(frozen=True)
+class WriteFault(TraceEvent):
+    """A store trapped on a write-protected page."""
+
+    pfn: int
+
+
+@dataclass(frozen=True)
+class SyncEviction(TraceEvent):
+    """The fault handler evicted ``pfn`` because the budget was full.
+
+    ``dirty`` is the dirty count at issue time — the victim stays in the
+    dirty set until its IO completes, so this always equals the budget.
+    """
+
+    pfn: int
+    dirty: int
+
+
+@dataclass(frozen=True)
+class ProactiveFlush(TraceEvent):
+    """The background copier issued a flush of cold page ``pfn``."""
+
+    pfn: int
+    dirty: int
+    threshold: int
+
+
+@dataclass(frozen=True)
+class EpochScan(TraceEvent):
+    """One epoch boundary: the dirty-bit walk and everything it feeds."""
+
+    epoch: int
+    updated: int          # pages whose dirty bit was set this epoch
+    new_dirty: int        # first-dirtied pages this epoch (pressure input)
+    dirty: int            # dirty count after the scan
+    pressure: float       # EWMA prediction after folding this epoch in
+    threshold: int        # proactive trigger now in force
+
+
+@dataclass(frozen=True)
+class TLBFlush(TraceEvent):
+    """A full TLB flush; ``entries`` translations were discarded."""
+
+    entries: int
+
+
+@dataclass(frozen=True)
+class SSDWrite(TraceEvent):
+    """One write accepted by the SSD at ``t``.
+
+    ``queued_ns`` is time spent waiting for a free service slot;
+    ``completion_ns`` is the absolute completion timestamp.
+    """
+
+    size_bytes: int
+    queued_ns: int
+    completion_ns: int
+
+
+@dataclass(frozen=True)
+class BudgetWait(TraceEvent):
+    """The fault handler stalled ``wait_ns`` with every dirty page in flight."""
+
+    wait_ns: int
+
+
+@dataclass(frozen=True)
+class FlushComplete(TraceEvent):
+    """A flush IO was acknowledged; ``latency_ns`` covers issue-to-ack."""
+
+    pfn: int
+    latency_ns: int
+
+
+EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
+    WriteFault,
+    SyncEviction,
+    ProactiveFlush,
+    EpochScan,
+    TLBFlush,
+    SSDWrite,
+    BudgetWait,
+    FlushComplete,
+)
+
+EVENT_TYPES_BY_NAME: Dict[str, Type[TraceEvent]] = {
+    cls.__name__: cls for cls in EVENT_TYPES
+}
+
+
+def event_from_dict(data: Dict[str, object]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.as_dict` (trace-file loading)."""
+    payload = dict(data)
+    type_name = payload.pop("type", None)
+    if not isinstance(type_name, str) or type_name not in EVENT_TYPES_BY_NAME:
+        raise ValueError(f"unknown event type: {type_name!r}")
+    return EVENT_TYPES_BY_NAME[type_name](**payload)  # type: ignore[arg-type]

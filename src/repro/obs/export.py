@@ -1,0 +1,94 @@
+"""Deterministic JSON/CSV serialisation of traces and metrics.
+
+Byte-for-byte stability is the contract: the golden-trace suite compares
+serialised output against committed fixtures, so everything here sorts
+keys, uses fixed field orders, and never consults the wall clock.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.events import TraceEvent, event_from_dict
+from repro.obs.metrics import EpochPoint
+
+#: Union of every event field, in stable column order, for one flat CSV.
+EVENT_CSV_COLUMNS: Sequence[str] = (
+    "seq",
+    "type",
+    "t",
+    "pfn",
+    "epoch",
+    "updated",
+    "new_dirty",
+    "dirty",
+    "pressure",
+    "threshold",
+    "entries",
+    "size_bytes",
+    "queued_ns",
+    "completion_ns",
+    "wait_ns",
+    "latency_ns",
+)
+
+TIMELINE_CSV_COLUMNS: Sequence[str] = (
+    "epoch",
+    "t",
+    "dirty",
+    "new_dirty",
+    "pressure",
+    "threshold",
+    "outstanding",
+)
+
+
+def events_to_rows(events: Iterable[TraceEvent]) -> List[Dict[str, object]]:
+    """Event dicts with a ``seq`` column (emission order)."""
+    rows = []
+    for seq, event in enumerate(events):
+        row = event.as_dict()
+        row["seq"] = seq
+        rows.append(row)
+    return rows
+
+
+def rows_to_events(rows: Iterable[Dict[str, object]]) -> List[TraceEvent]:
+    """Rebuild typed events from exported rows (``seq`` is discarded)."""
+    events = []
+    for row in rows:
+        payload = {k: v for k, v in row.items() if k != "seq"}
+        events.append(event_from_dict(payload))
+    return events
+
+
+def to_json(payload: object) -> str:
+    """Canonical JSON: sorted keys, 2-space indent, trailing newline."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def events_to_csv(events: Iterable[TraceEvent]) -> str:
+    """One flat CSV over all event types; absent fields are empty cells."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(EVENT_CSV_COLUMNS), lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in events_to_rows(events):
+        writer.writerow({col: row.get(col, "") for col in EVENT_CSV_COLUMNS})
+    return buffer.getvalue()
+
+
+def timeline_to_csv(points: Iterable[EpochPoint]) -> str:
+    """The epoch timeline as CSV, one row per retained epoch point."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(TIMELINE_CSV_COLUMNS), lineterminator="\n"
+    )
+    writer.writeheader()
+    for point in points:
+        writer.writerow(point.as_dict())
+    return buffer.getvalue()

@@ -1,0 +1,240 @@
+"""Counters, gauges, fixed-bucket histograms, and the epoch timeline.
+
+The registry is the aggregated view of a traced run: where the event log
+answers "what happened, in what order", the registry answers "how much
+and how bad".  Everything here is plain integer/float arithmetic on
+virtual-time quantities, so snapshots are exactly reproducible.
+
+Histograms use *fixed* bucket bounds (log-spaced nanoseconds by default)
+rather than adaptive ones: fixed bounds make two runs comparable
+bucket-by-bucket and keep golden snapshots byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Log-spaced (1-3-10) nanosecond bounds, 100 ns .. 100 ms.  Wide enough
+#: for everything the runtime measures: trap handling (~µs), blocked
+#: waits (~tens of µs), flush latencies (~25 µs + queueing).
+DEFAULT_TIME_BUCKETS_NS: Tuple[int, ...] = (
+    100,
+    300,
+    1_000,
+    3_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+    30_000_000,
+    100_000_000,
+)
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be non-negative: {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value of a fluctuating quantity."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with exact count/total/min/max.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last bound.  ``percentile`` returns the upper
+    edge of the bucket containing the requested rank — a deterministic
+    over-estimate, which is the right bias for latency reporting.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[int] = DEFAULT_TIME_BUCKETS_NS
+    ) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(int(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative: {value}")
+        value = int(value)
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[int]:
+        """Upper bucket edge covering rank ``q`` in [0, 1]; None if empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1]: {q}")
+        if self.count == 0:
+            return None
+        rank = max(1, -(-int(q * self.count) // 1))  # ceil, floored at 1
+        seen = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max  # overflow bucket: exact max is the edge
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "bounds_ns": list(self.bounds),
+            "buckets": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
+
+@dataclass(frozen=True)
+class EpochPoint:
+    """One epoch boundary's worth of system state."""
+
+    epoch: int
+    t: int
+    dirty: int
+    new_dirty: int
+    pressure: float
+    threshold: int
+    outstanding: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class EpochTimeline:
+    """Bounded per-epoch history of dirty count / pressure / threshold.
+
+    Bounded by deterministic decimation: when ``max_points`` is reached
+    the stride doubles and every other retained point is dropped, so the
+    memory footprint is O(max_points) for arbitrarily long runs while the
+    kept points remain an evenly-spaced, reproducible subsample.
+    """
+
+    def __init__(self, max_points: int = 4096) -> None:
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2: {max_points}")
+        self.max_points = int(max_points)
+        self.stride = 1
+        self._ticks = 0
+        self._points: List[EpochPoint] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def record(self, point: EpochPoint) -> None:
+        if self._ticks % self.stride == 0:
+            self._points.append(point)
+            if len(self._points) >= self.max_points:
+                self._points = self._points[::2]
+                self.stride *= 2
+        self._ticks += 1
+
+    def points(self) -> List[EpochPoint]:
+        return list(self._points)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [p.as_dict() for p in self._points]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms, plus the epoch timeline.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create, so
+    instrumentation sites can bind their instruments once at
+    construction time and hit plain attribute updates on the hot path.
+    """
+
+    def __init__(self, timeline_max_points: int = 4096) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.timeline = EpochTimeline(timeline_max_points)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Sequence[int] = DEFAULT_TIME_BUCKETS_NS
+    ) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name, bounds)
+        existing = self._histograms[name]
+        if existing.bounds != tuple(int(b) for b in bounds):
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{existing.bounds}"
+            )
+        return existing
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic (name-sorted) dump of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+            "timeline": self.timeline.as_rows(),
+        }

@@ -1,0 +1,115 @@
+"""The tracer: a no-op by default, a recorder when observability is on.
+
+Design rule: the *uninstrumented* path must stay fast.  Every
+instrumentation site in the runtime/MMU/TLB/SSD/flusher is guarded::
+
+    if tracer.enabled:
+        tracer.emit(WriteFault(t=..., pfn=pfn))
+
+so with the default :data:`NULL_TRACER` no event object is ever
+constructed — the cost is one attribute load and a falsy branch.  The
+overhead suite (``tests/obs/test_overhead.py``) pins this down by
+asserting that a traced run and an untraced run of the same seeded
+workload produce identical :class:`~repro.core.stats.ViyojitStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type, TypeVar
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricsRegistry
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class Tracer:
+    """No-op tracer: the default wired into every component.
+
+    ``enabled`` is False, ``emit`` discards, ``now`` returns 0.  Hot
+    paths check ``enabled`` before building event objects, so this class
+    body is only reached from cold call sites.
+    """
+
+    enabled: bool = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    def now(self) -> int:
+        """Virtual time for emitters without a clock of their own (TLB)."""
+        return 0
+
+    def bind_clock(self, clock) -> None:
+        """Accept a clock source; the no-op tracer has no use for it."""
+
+
+#: Shared no-op instance.  Stateless, so one module-level singleton is
+#: safe for every component in every simulation.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Appends events in emission order and owns a metrics registry.
+
+    Parameters
+    ----------
+    clock:
+        A ``SimClock`` (anything with ``.now``); bound automatically by
+        the first system the tracer is installed into if omitted.
+    metrics:
+        An existing :class:`MetricsRegistry` to aggregate into; a fresh
+        one is created when omitted.
+    max_events:
+        Hard cap on retained events.  Emissions past the cap are counted
+        in ``dropped`` instead of growing the log without bound.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=None,
+        metrics: Optional[MetricsRegistry] = None,
+        max_events: int = 1_000_000,
+    ) -> None:
+        if max_events <= 0:
+            raise ValueError(f"max_events must be positive: {max_events}")
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_events = int(max_events)
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def bind_clock(self, clock) -> None:
+        """Adopt ``clock`` as the time source unless one is already set."""
+        if self.clock is None:
+            self.clock = clock
+
+    def now(self) -> int:
+        return self.clock.now if self.clock is not None else 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    # -- log queries (tests and reports) -----------------------------------
+
+    def events_of(self, event_type: Type[E]) -> List[E]:
+        """Every retained event of exactly-or-subclass ``event_type``."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def counts(self) -> Dict[str, int]:
+        """Retained event count per type name, name-sorted."""
+        tally: Dict[str, int] = {}
+        for event in self.events:
+            name = event.type_name
+            tally[name] = tally.get(name, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def clear(self) -> None:
+        """Drop the retained log (the metrics registry is untouched)."""
+        self.events.clear()
+        self.dropped = 0

@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
+from repro.obs.events import SSDWrite
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.clock import NS_PER_SEC
 
 
@@ -52,6 +54,9 @@ class SSDStats:
 
 class SSD:
     """Bounded-queue SSD; all submissions and completions in virtual ns."""
+
+    #: Observability hook; the runtime swaps in a recording tracer.
+    tracer: Tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -81,13 +86,15 @@ class SSD:
         heapq.heapify(self._slots)
         self.stats = SSDStats()
 
-    def _service(self, now_ns: int, latency_ns: int, size: int, bandwidth: float) -> int:
+    def _service(
+        self, now_ns: int, latency_ns: int, size: int, bandwidth: float
+    ) -> Tuple[int, int]:
         transfer_ns = round(size * NS_PER_SEC / bandwidth)
         free_at = heapq.heappop(self._slots)
         start = max(now_ns, free_at)
         finish = start + latency_ns + transfer_ns
         heapq.heappush(self._slots, finish)
-        return finish
+        return start, finish
 
     def submit_write(self, now_ns: int, size_bytes: int) -> int:
         """Submit a write at ``now_ns``; returns its completion time."""
@@ -95,7 +102,19 @@ class SSD:
             raise ValueError(f"size must be positive: {size_bytes}")
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
-        return self._service(now_ns, self.write_latency_ns, size_bytes, self.write_bandwidth)
+        start, finish = self._service(
+            now_ns, self.write_latency_ns, size_bytes, self.write_bandwidth
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                SSDWrite(
+                    t=now_ns,
+                    size_bytes=size_bytes,
+                    queued_ns=start - now_ns,
+                    completion_ns=finish,
+                )
+            )
+        return finish
 
     def submit_read(self, now_ns: int, size_bytes: int) -> int:
         """Submit a read at ``now_ns``; returns its completion time."""
@@ -103,7 +122,10 @@ class SSD:
             raise ValueError(f"size must be positive: {size_bytes}")
         self.stats.reads += 1
         self.stats.bytes_read += size_bytes
-        return self._service(now_ns, self.read_latency_ns, size_bytes, self.read_bandwidth)
+        _start, finish = self._service(
+            now_ns, self.read_latency_ns, size_bytes, self.read_bandwidth
+        )
+        return finish
 
     def earliest_free_slot(self) -> int:
         """Time at which the next service slot becomes free."""

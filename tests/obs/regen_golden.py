@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the golden-trace fixtures under ``tests/obs/golden/``.
+
+The golden suite (``test_golden_traces.py``) asserts byte-for-byte
+equality between a fresh seeded run and these committed fixtures, so the
+traces act as regression oracles over the whole fault-handler / flusher /
+epoch-scan flow.  After an *intentional* behaviour change, re-run::
+
+    PYTHONPATH=src python tests/obs/regen_golden.py
+
+review the diff (it IS the behaviour change, event by event), and commit
+the updated fixtures alongside the code.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+from repro.obs.export import to_json
+from repro.obs.harness import TraceWorkload, run_traced_workload
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: The pinned scenarios: one small zipfian workload per runtime variant.
+#: Keep these tiny — the fixtures are committed — and NEVER edit the
+#: parameters without regenerating every fixture.
+GOLDEN_SPECS = {
+    "viyojit": TraceWorkload(
+        system="viyojit", num_pages=96, dirty_budget_pages=8,
+        hot_pages=32, ops=120, seed=42,
+    ),
+    "nvdram": TraceWorkload(
+        system="nvdram", num_pages=96, dirty_budget_pages=8,
+        hot_pages=32, ops=120, seed=42,
+    ),
+    "hardware": TraceWorkload(
+        system="hardware", num_pages=96, dirty_budget_pages=8,
+        hot_pages=32, ops=120, seed=42,
+    ),
+}
+
+
+def fixture_path(name: str) -> pathlib.Path:
+    return GOLDEN_DIR / f"trace_{name}.json"
+
+
+def render(name: str) -> str:
+    return to_json(run_traced_workload(GOLDEN_SPECS[name]))
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in GOLDEN_SPECS:
+        text = render(name)
+        path = fixture_path(name)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote {path} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

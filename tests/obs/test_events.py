@@ -1,0 +1,56 @@
+"""Event vocabulary: dict round-trips and the type registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EVENT_TYPES_BY_NAME,
+    BudgetWait,
+    EpochScan,
+    SSDWrite,
+    SyncEviction,
+    TLBFlush,
+    WriteFault,
+    event_from_dict,
+)
+
+
+class TestEventDicts:
+    def test_as_dict_includes_type_discriminator(self):
+        event = WriteFault(t=123, pfn=4)
+        assert event.as_dict() == {"type": "WriteFault", "t": 123, "pfn": 4}
+
+    def test_every_type_round_trips(self):
+        samples = [
+            WriteFault(t=1, pfn=2),
+            SyncEviction(t=3, pfn=4, dirty=8),
+            EpochScan(
+                t=5, epoch=1, updated=3, new_dirty=2, dirty=6,
+                pressure=1.5, threshold=10,
+            ),
+            TLBFlush(t=7, entries=12),
+            SSDWrite(t=9, size_bytes=4096, queued_ns=0, completion_ns=100),
+            BudgetWait(t=11, wait_ns=50),
+        ]
+        for event in samples:
+            assert event_from_dict(event.as_dict()) == event
+
+    def test_registry_covers_all_types(self):
+        assert set(EVENT_TYPES_BY_NAME) == {cls.__name__ for cls in EVENT_TYPES}
+        # The paper-facing vocabulary the issue names must all exist.
+        for name in (
+            "WriteFault", "SyncEviction", "ProactiveFlush", "EpochScan",
+            "TLBFlush", "SSDWrite", "BudgetWait",
+        ):
+            assert name in EVENT_TYPES_BY_NAME
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            event_from_dict({"type": "Nope", "t": 0})
+
+    def test_events_are_immutable(self):
+        event = WriteFault(t=1, pfn=2)
+        with pytest.raises(AttributeError):
+            event.pfn = 3  # type: ignore[misc]

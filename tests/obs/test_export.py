@@ -1,0 +1,68 @@
+"""Exporters: canonical JSON, flat CSV, and row round-trips."""
+
+from __future__ import annotations
+
+from repro.obs.events import SSDWrite, TLBFlush, WriteFault
+from repro.obs.export import (
+    EVENT_CSV_COLUMNS,
+    events_to_csv,
+    events_to_rows,
+    rows_to_events,
+    timeline_to_csv,
+    to_json,
+)
+from repro.obs.metrics import EpochPoint
+
+EVENTS = [
+    WriteFault(t=10, pfn=3),
+    SSDWrite(t=20, size_bytes=4096, queued_ns=5, completion_ns=120),
+    TLBFlush(t=30, entries=2),
+]
+
+
+class TestRows:
+    def test_rows_carry_sequence_numbers(self):
+        rows = events_to_rows(EVENTS)
+        assert [r["seq"] for r in rows] == [0, 1, 2]
+        assert rows[1]["type"] == "SSDWrite"
+        assert rows[1]["completion_ns"] == 120
+
+    def test_round_trip(self):
+        assert rows_to_events(events_to_rows(EVENTS)) == EVENTS
+
+
+class TestJson:
+    def test_canonical_form(self):
+        text = to_json({"b": 1, "a": [2, 3]})
+        assert text == '{\n  "a": [\n    2,\n    3\n  ],\n  "b": 1\n}\n'
+
+    def test_same_payload_same_bytes(self):
+        rows = events_to_rows(EVENTS)
+        assert to_json(rows) == to_json(events_to_rows(list(EVENTS)))
+
+
+class TestCsv:
+    def test_header_covers_every_event_field(self):
+        text = events_to_csv(EVENTS)
+        lines = text.splitlines()
+        assert lines[0] == ",".join(EVENT_CSV_COLUMNS)
+        assert len(lines) == 1 + len(EVENTS)
+        # Fields foreign to a row's type are empty cells, not errors.
+        fault_row = dict(zip(EVENT_CSV_COLUMNS, lines[1].split(",")))
+        assert fault_row["type"] == "WriteFault"
+        assert fault_row["pfn"] == "3"
+        assert fault_row["size_bytes"] == ""
+
+    def test_timeline_csv(self):
+        text = timeline_to_csv(
+            [
+                EpochPoint(
+                    epoch=1, t=1000, dirty=5, new_dirty=2,
+                    pressure=1.5, threshold=11, outstanding=3,
+                )
+            ]
+        )
+        assert text.splitlines() == [
+            "epoch,t,dirty,new_dirty,pressure,threshold,outstanding",
+            "1,1000,5,2,1.5,11,3",
+        ]

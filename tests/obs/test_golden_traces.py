@@ -1,0 +1,60 @@
+"""Golden-trace regression suite: seeded runs must match the fixtures.
+
+Byte-for-byte.  A mismatch means the fault-handler flow, the flusher
+trigger logic, the cost model, or the event vocabulary changed — if the
+change is intentional, regenerate with ``tests/obs/regen_golden.py`` and
+commit the diff; if not, you just caught a behaviour regression that no
+coarse cumulative counter would have shown.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.obs.regen_golden import GOLDEN_SPECS, fixture_path, render
+
+VARIANTS = sorted(GOLDEN_SPECS)
+
+
+@pytest.mark.parametrize("name", VARIANTS)
+def test_trace_matches_golden_fixture(name):
+    path = fixture_path(name)
+    assert path.exists(), (
+        f"missing fixture {path}; generate it with "
+        "`PYTHONPATH=src python tests/obs/regen_golden.py`"
+    )
+    expected = path.read_text(encoding="utf-8")
+    actual = render(name)
+    assert actual == expected, (
+        f"{name} trace diverged from its golden fixture — if intentional, "
+        "regenerate via tests/obs/regen_golden.py and commit the diff"
+    )
+
+
+@pytest.mark.parametrize("name", VARIANTS)
+def test_trace_is_deterministic(name):
+    # Two fresh runs of the same seed: identical bytes, no fixture needed.
+    assert render(name) == render(name)
+
+
+def test_viyojit_fixture_sanity():
+    """The committed viyojit fixture really exercises the machinery."""
+    doc = json.loads(fixture_path("viyojit").read_text(encoding="utf-8"))
+    types = {e["type"] for e in doc["events"]}
+    assert {"WriteFault", "SSDWrite", "FlushComplete", "TLBFlush"} <= types
+    assert doc["stats"]["write_faults"] > 0
+    assert doc["stats"]["peak_dirty_pages"] <= 8
+    assert doc["dropped_events"] == 0
+    budget = doc["meta"]["workload"]["dirty_budget_pages"]
+    for event in doc["events"]:
+        if event["type"] in ("SyncEviction", "EpochScan"):
+            assert event["dirty"] <= budget
+
+
+def test_baseline_fixture_has_no_events():
+    doc = json.loads(fixture_path("nvdram").read_text(encoding="utf-8"))
+    assert doc["events"] == []
+    assert doc["stats"] is None
+    assert doc["substrate"]["mmu"]["faults"] == 0

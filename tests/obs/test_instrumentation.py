@@ -1,0 +1,150 @@
+"""Event emission matches the runtime's own counters, site by site.
+
+Every instrumented hot path is cross-checked against the cumulative
+counter it mirrors — the tracer must agree with ``ViyojitStats`` and the
+device counters exactly, or a future refactor moved an emission without
+moving its stat (or vice versa).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import FullBatteryNVDRAM, HardwareViyojit, Viyojit
+from repro.obs.events import (
+    BudgetWait,
+    EpochScan,
+    FlushComplete,
+    ProactiveFlush,
+    SSDWrite,
+    SyncEviction,
+    TLBFlush,
+    WriteFault,
+)
+from repro.obs.tracer import NULL_TRACER, RecordingTracer
+from repro.sim.events import Simulation
+from repro.workloads.distributions import ZipfianGenerator
+
+PAGE = 4096
+
+
+def drive(system_cls, tracer, *, pages=128, budget=8, hot=48, ops=300, seed=11):
+    sim = Simulation()
+    if system_cls is FullBatteryNVDRAM:
+        system = system_cls(sim, num_pages=pages, tracer=tracer)
+    else:
+        system = system_cls(
+            sim,
+            num_pages=pages,
+            config=ViyojitConfig(dirty_budget_pages=budget),
+            tracer=tracer,
+        )
+    system.start()
+    mapping = system.mmap(hot * PAGE)
+    zipf = ZipfianGenerator(hot, seed=seed)
+    for op in range(ops):
+        page = zipf.next()
+        system.write(mapping.addr(page * PAGE), b"x" * 64)
+    return sim, system
+
+
+class TestViyojitEmission:
+    @pytest.fixture()
+    def traced(self):
+        tracer = RecordingTracer()
+        sim, system = drive(Viyojit, tracer)
+        return tracer, sim, system
+
+    def test_event_counts_mirror_stats(self, traced):
+        tracer, _sim, system = traced
+        stats = system.stats
+        counts = tracer.counts()
+        assert counts.get("WriteFault", 0) == stats.write_faults
+        assert counts.get("SyncEviction", 0) == stats.sync_evictions
+        assert counts.get("ProactiveFlush", 0) == stats.proactive_flushes
+        assert counts.get("FlushComplete", 0) == stats.flush_completions
+        assert counts.get("EpochScan", 0) == stats.epochs
+        assert counts.get("BudgetWait", 0) == stats.budget_waits
+        assert stats.write_faults > 0  # the workload actually faulted
+
+    def test_ssd_writes_all_traced(self, traced):
+        tracer, _sim, system = traced
+        ssd_events = tracer.events_of(SSDWrite)
+        assert len(ssd_events) == system.ssd.stats.writes
+        assert sum(e.size_bytes for e in ssd_events) == system.ssd.stats.bytes_written
+        for event in ssd_events:
+            assert event.completion_ns >= event.t + event.queued_ns
+
+    def test_tlb_flushes_traced(self, traced):
+        tracer, _sim, system = traced
+        # One flush at start() + one per epoch scan.
+        assert len(tracer.events_of(TLBFlush)) == system.tlb.flushes
+        assert system.tlb.flushes == system.stats.epochs + 1
+
+    def test_epoch_scan_fields(self, traced):
+        tracer, _sim, system = traced
+        scans = tracer.events_of(EpochScan)
+        assert [s.epoch for s in scans] == list(range(1, len(scans) + 1))
+        for scan in scans:
+            assert 0 <= scan.dirty <= system.dirty_budget_pages
+            assert scan.threshold <= system.dirty_budget_pages
+            assert scan.pressure >= 0.0
+
+    def test_timeline_matches_epoch_events(self, traced):
+        tracer, _sim, system = traced
+        scans = tracer.events_of(EpochScan)
+        points = tracer.metrics.timeline.points()
+        assert [(p.epoch, p.t, p.dirty, p.pressure, p.threshold) for p in points] == [
+            (s.epoch, s.t, s.dirty, s.pressure, s.threshold) for s in scans
+        ]
+
+    def test_latency_histograms_populated(self, traced):
+        tracer, _sim, system = traced
+        metrics = tracer.metrics
+        assert metrics.histogram("fault_handler_ns").count == system.stats.write_faults
+        assert (
+            metrics.histogram("flush_latency_ns").count
+            == system.stats.flush_completions
+        )
+        # Every fault pays at least the trap cost.
+        assert metrics.histogram("fault_handler_ns").min >= system.machine.trap_cost_ns
+
+    def test_flush_latency_is_issue_to_completion(self, traced):
+        tracer, _sim, _system = traced
+        for event in tracer.events_of(FlushComplete):
+            assert event.latency_ns > 0
+            assert event.t >= event.latency_ns  # completion at/after issue
+
+
+class TestHardwareEmission:
+    def test_hardware_mode_traces_without_first_write_faults(self):
+        tracer = RecordingTracer()
+        _sim, system = drive(HardwareViyojit, tracer)
+        counts = tracer.counts()
+        # Dirty tracking never traps; only mid-flush stores fault.
+        assert counts.get("WriteFault", 0) == system.stats.write_faults
+        assert counts.get("SyncEviction", 0) == system.stats.sync_evictions
+        assert system.stats.pages_dirtied > system.stats.write_faults
+
+
+class TestBaselineEmission:
+    def test_baseline_emits_no_viyojit_events(self):
+        tracer = RecordingTracer()
+        _sim, _system = drive(FullBatteryNVDRAM, tracer)
+        # No protection, no tracking, no flushing: any event here means
+        # the baseline grew Viyojit machinery by accident.
+        assert tracer.events == []
+
+
+class TestDefaultTracer:
+    def test_components_share_the_null_tracer_by_default(self):
+        sim = Simulation()
+        system = Viyojit(
+            sim, num_pages=64, config=ViyojitConfig(dirty_budget_pages=8)
+        )
+        assert system.tracer is NULL_TRACER
+        assert system.mmu.tracer is NULL_TRACER
+        assert system.tlb.tracer is NULL_TRACER
+        assert system.ssd.tracer is NULL_TRACER
+        assert system.flusher.tracer is NULL_TRACER

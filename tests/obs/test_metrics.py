@@ -1,0 +1,156 @@
+"""Metrics registry: counters, gauges, histograms, timeline decimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_NS,
+    Counter,
+    EpochPoint,
+    EpochTimeline,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def point(epoch: int) -> EpochPoint:
+    return EpochPoint(
+        epoch=epoch, t=epoch * 1000, dirty=epoch, new_dirty=1,
+        pressure=0.5, threshold=10, outstanding=0,
+    )
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("faults")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge("dirty")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucketing_on_inclusive_upper_edges(self):
+        h = Histogram("lat", bounds=(10, 100, 1000))
+        for v in (5, 10, 11, 100, 5000):
+            h.observe(v)
+        assert h.bucket_counts == [2, 2, 0, 1]
+        assert h.count == 5
+        assert h.total == 5126
+        assert h.min == 5
+        assert h.max == 5000
+
+    def test_percentile_returns_bucket_edges(self):
+        h = Histogram("lat", bounds=(10, 100, 1000))
+        for _ in range(99):
+            h.observe(7)
+        h.observe(999)
+        assert h.percentile(0.50) == 10
+        assert h.percentile(0.99) == 10
+        assert h.percentile(1.0) == 1000
+
+    def test_percentile_of_empty_is_none(self):
+        assert Histogram("lat").percentile(0.5) is None
+
+    def test_overflow_percentile_reports_exact_max(self):
+        h = Histogram("lat", bounds=(10,))
+        h.observe(12345)
+        assert h.percentile(0.99) == 12345
+
+    def test_rejects_unsorted_bounds_and_negative_values(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(10, 10))
+        with pytest.raises(ValueError):
+            Histogram("lat").observe(-1)
+
+    def test_mean(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        h.observe(10)
+        h.observe(20)
+        assert h.mean == 15.0
+
+    def test_snapshot_shape(self):
+        h = Histogram("lat", bounds=(10, 100))
+        h.observe(50)
+        snap = h.snapshot()
+        assert snap["bounds_ns"] == [10, 100]
+        assert snap["buckets"] == [0, 1, 0]
+        assert snap["count"] == 1
+        assert snap["p50"] == 100
+
+
+class TestEpochTimeline:
+    def test_records_every_point_under_cap(self):
+        tl = EpochTimeline(max_points=100)
+        for i in range(50):
+            tl.record(point(i))
+        assert len(tl) == 50
+        assert [p.epoch for p in tl.points()] == list(range(50))
+
+    def test_decimation_bounds_memory_and_doubles_stride(self):
+        tl = EpochTimeline(max_points=16)
+        for i in range(1000):
+            tl.record(point(i))
+        assert len(tl) < 16
+        assert tl.stride > 1
+        epochs = [p.epoch for p in tl.points()]
+        # Retained points stay sorted and evenly strided after decimation.
+        assert epochs == sorted(epochs)
+        gaps = {b - a for a, b in zip(epochs, epochs[1:])}
+        assert len(gaps) == 1  # uniform spacing
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            tl = EpochTimeline(max_points=8)
+            for i in range(300):
+                tl.record(point(i))
+            return [p.epoch for p in tl.points()]
+
+        assert run() == run()
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            EpochTimeline(max_points=1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_semantics(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_bounds_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", bounds=(1, 2, 3))
+
+    def test_snapshot_is_name_sorted_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc(2)
+        registry.counter("alpha").inc()
+        registry.gauge("dirty").set(7)
+        registry.histogram("lat", bounds=(10,)).observe(5)
+        registry.timeline.record(point(0))
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["counters"] == {"alpha": 1, "zeta": 2}
+        assert snap["gauges"] == {"dirty": 7}
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["timeline"][0]["epoch"] == 0
+
+    def test_default_bounds_are_strictly_increasing(self):
+        assert list(DEFAULT_TIME_BUCKETS_NS) == sorted(set(DEFAULT_TIME_BUCKETS_NS))

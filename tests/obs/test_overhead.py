@@ -1,0 +1,82 @@
+"""Tracing must be free when off and invisible when on.
+
+The instrumentation sits on the hottest paths in the simulator (fault
+handler, flusher, MMU, TLB, SSD), so two things must hold:
+
+* with the default no-op tracer, behaviour is bit-identical to the
+  uninstrumented seed — same counters, same virtual end time;
+* turning recording ON only *observes* — it must not perturb the
+  simulation (no clock charges, no extra events, no counter drift).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import HardwareViyojit, Viyojit
+from repro.obs.tracer import NULL_TRACER, RecordingTracer
+from repro.sim.events import Simulation
+from repro.workloads.distributions import ZipfianGenerator
+
+PAGE = 4096
+
+
+def drive(system_cls, tracer):
+    sim = Simulation()
+    system = system_cls(
+        sim,
+        num_pages=128,
+        config=ViyojitConfig(dirty_budget_pages=8),
+        tracer=tracer,
+    )
+    system.start()
+    mapping = system.mmap(48 * PAGE)
+    zipf = ZipfianGenerator(48, seed=11)
+    for op in range(300):
+        page = zipf.next()
+        system.write(mapping.addr(page * PAGE), f"op{op:06d}".encode() * 8)
+    system.drain()
+    return sim, system
+
+
+def observable_state(sim, system):
+    return {
+        "summary": system.stats.summary(),
+        "dirty_samples": list(system.stats.dirty_page_samples),
+        "now_ns": sim.now,
+        "mmu": (
+            system.mmu.read_accesses,
+            system.mmu.write_accesses,
+            system.mmu.faults,
+        ),
+        "tlb": (
+            system.tlb.hits,
+            system.tlb.misses,
+            system.tlb.flushes,
+            system.tlb.single_invalidations,
+        ),
+        "ssd": (system.ssd.stats.writes, system.ssd.stats.bytes_written),
+    }
+
+
+@pytest.mark.parametrize("system_cls", [Viyojit, HardwareViyojit])
+def test_recording_tracer_causes_no_counter_drift(system_cls):
+    null_state = observable_state(*drive(system_cls, None))
+    traced_state = observable_state(*drive(system_cls, RecordingTracer()))
+    assert traced_state == null_state
+
+
+def test_default_tracer_is_the_shared_noop():
+    sim, system = drive(Viyojit, None)
+    assert system.tracer is NULL_TRACER
+    assert not system.tracer.enabled
+    del sim
+
+
+def test_traced_run_actually_recorded_something():
+    tracer = RecordingTracer()
+    drive(Viyojit, tracer)
+    assert len(tracer.events) > 0
+    assert tracer.dropped == 0
+    assert tracer.metrics.histogram("fault_handler_ns").count > 0

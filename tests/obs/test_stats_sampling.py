@@ -1,0 +1,70 @@
+"""The once-dead ``ViyojitStats.dirty_page_samples`` now fills, bounded."""
+
+from __future__ import annotations
+
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import Viyojit
+from repro.core.stats import MAX_DIRTY_SAMPLES, ViyojitStats
+from repro.sim.events import Simulation
+
+PAGE = 4096
+
+
+class TestRecordDirtyLevel:
+    def test_appends_samples(self):
+        stats = ViyojitStats()
+        for level in (1, 5, 3):
+            stats.record_dirty_level(level)
+        assert stats.dirty_page_samples == [1, 5, 3]
+        assert stats.peak_dirty_pages == 5
+
+    def test_bounded_by_decimation(self):
+        stats = ViyojitStats()
+        for level in range(3 * MAX_DIRTY_SAMPLES):
+            stats.record_dirty_level(level)
+        assert len(stats.dirty_page_samples) < MAX_DIRTY_SAMPLES
+        assert stats._sample_stride > 1
+        kept = stats.dirty_page_samples
+        assert kept == sorted(kept)  # the ramp survives decimation in order
+        assert stats.peak_dirty_pages == 3 * MAX_DIRTY_SAMPLES - 1  # peak exact
+
+    def test_decimation_deterministic(self):
+        def run():
+            stats = ViyojitStats()
+            for level in range(10_000):
+                stats.record_dirty_level(level % 37)
+            return list(stats.dirty_page_samples)
+
+        assert run() == run()
+
+    def test_summary_exposes_samples(self):
+        stats = ViyojitStats()
+        stats.record_dirty_level(4)
+        stats.record_dirty_level(8)
+        summary = stats.summary()
+        assert summary["dirty_samples"] == 2
+        assert summary["mean_dirty_pages"] == 6.0
+        assert summary["peak_dirty_pages"] == 8
+
+    def test_mean_of_empty_is_zero(self):
+        assert ViyojitStats().mean_dirty_pages() == 0.0
+
+
+class TestRuntimePopulatesSamples:
+    def test_live_system_fills_samples(self):
+        sim = Simulation()
+        system = Viyojit(
+            sim, num_pages=64, config=ViyojitConfig(dirty_budget_pages=8)
+        )
+        system.start()
+        mapping = system.mmap(32 * PAGE)
+        for i in range(64):
+            system.write(mapping.addr((i % 32) * PAGE), b"y" * 32)
+        stats = system.stats
+        # One sample per dirtied page + one per epoch tick, all bounded.
+        assert len(stats.dirty_page_samples) > 0
+        assert max(stats.dirty_page_samples) == stats.peak_dirty_pages
+        assert all(
+            0 <= s <= system.dirty_budget_pages for s in stats.dirty_page_samples
+        )
+        assert stats.summary()["dirty_samples"] == len(stats.dirty_page_samples)

@@ -1,0 +1,66 @@
+"""Tracer behaviour: the no-op default and the recording variant."""
+
+from __future__ import annotations
+
+from repro.obs.events import TLBFlush, WriteFault
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
+from repro.sim.clock import SimClock
+
+
+class TestNullTracer:
+    def test_disabled_and_discards(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(WriteFault(t=0, pfn=1))  # no-op, no error
+        assert NULL_TRACER.now() == 0
+
+    def test_bind_clock_is_accepted_and_ignored(self):
+        tracer = Tracer()
+        tracer.bind_clock(SimClock(123))
+        assert tracer.now() == 0
+
+
+class TestRecordingTracer:
+    def test_records_in_emission_order(self):
+        tracer = RecordingTracer()
+        tracer.emit(WriteFault(t=0, pfn=1))
+        tracer.emit(TLBFlush(t=5, entries=3))
+        tracer.emit(WriteFault(t=9, pfn=2))
+        assert [e.type_name for e in tracer.events] == [
+            "WriteFault", "TLBFlush", "WriteFault",
+        ]
+        assert tracer.counts() == {"TLBFlush": 1, "WriteFault": 2}
+        assert [e.pfn for e in tracer.events_of(WriteFault)] == [1, 2]
+
+    def test_now_follows_bound_clock(self):
+        clock = SimClock(0)
+        tracer = RecordingTracer(clock=clock)
+        clock.advance(42)
+        assert tracer.now() == 42
+
+    def test_bind_clock_keeps_first_binding(self):
+        first, second = SimClock(1), SimClock(2)
+        tracer = RecordingTracer()
+        tracer.bind_clock(first)
+        tracer.bind_clock(second)
+        assert tracer.clock is first
+
+    def test_event_cap_counts_drops(self):
+        tracer = RecordingTracer(max_events=2)
+        for i in range(5):
+            tracer.emit(WriteFault(t=i, pfn=i))
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+
+    def test_clear_keeps_metrics(self):
+        registry = MetricsRegistry()
+        tracer = RecordingTracer(metrics=registry)
+        registry.counter("x").inc()
+        tracer.emit(WriteFault(t=0, pfn=0))
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.dropped == 0
+        assert tracer.metrics.counter("x").value == 1
+
+    def test_owns_registry_by_default(self):
+        assert isinstance(RecordingTracer().metrics, MetricsRegistry)
