@@ -1,0 +1,48 @@
+"""``repro.analysis``: project-specific static lint + runtime sanitizer.
+
+Two enforcement layers for the conventions the reproduction's
+guarantees rest on:
+
+* :mod:`repro.analysis.framework` / :mod:`repro.analysis.rules` — an
+  AST lint (rules D1, V1, T1, L1, E1) run as ``python -m repro.analysis
+  <paths>`` or ``repro lint``, and gated in CI;
+* :mod:`repro.analysis.sanitizer` — a runtime invariant checker wired
+  into the Viyojit runtimes behind ``ViyojitConfig.sanitize``.
+"""
+
+from repro.analysis.framework import (
+    PARSE_ERROR_RULE_ID,
+    LintReport,
+    ModuleUnderLint,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+    make_rules,
+    register_rule,
+    registered_rules,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.sanitizer import (
+    INVARIANTS,
+    InvariantViolation,
+    SimulationSanitizer,
+)
+
+__all__ = [
+    "PARSE_ERROR_RULE_ID",
+    "LintReport",
+    "ModuleUnderLint",
+    "Rule",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "make_rules",
+    "register_rule",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "INVARIANTS",
+    "InvariantViolation",
+    "SimulationSanitizer",
+]

@@ -1,0 +1,80 @@
+"""Lint CLI: ``python -m repro.analysis <paths>`` (also ``repro lint``).
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.framework import lint_paths, make_rules, registered_rules
+from repro.analysis.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "Project-specific static analysis: determinism (D1), "
+            "virtual-time discipline (V1), tracer guards (T1), "
+            "mem-layer encapsulation (L1), and bare-assert bans (E1)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, cls in sorted(registered_rules().items()):
+            print(f"{rule_id}  {cls.title}")
+        return 0
+    try:
+        select = (
+            [token.strip() for token in args.select.split(",") if token.strip()]
+            if args.select
+            else None
+        )
+        rules = make_rules(select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

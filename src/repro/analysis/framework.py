@@ -1,0 +1,258 @@
+"""AST lint framework: rules, registry, suppression, and the runner.
+
+The framework is deliberately small and dependency-free (stdlib ``ast``
+only).  A :class:`Rule` inspects one parsed module and yields
+:class:`Violation` records; the registry maps stable rule IDs (``D1``,
+``V1``, ...) to rule classes so the CLI and the test suite can select
+rules by name.  Suppression is per-line and per-rule::
+
+    value = page_table.dirty[pfn]  # lint: ignore[L1]
+    anything_goes()                # lint: ignore
+
+A bare ``# lint: ignore`` silences every rule on that line; the
+bracketed form silences only the listed rule IDs.  Suppressions attach
+to the line the violation is *reported* on (a multi-line expression
+reports on its first line).
+
+The concrete project rules live in :mod:`repro.analysis.rules`; the
+runtime invariant checker (a different kind of enforcement, same
+mission) lives in :mod:`repro.analysis.sanitizer`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+#: Pseudo-rule ID attached to files that fail to parse at all.
+PARSE_ERROR_RULE_ID = "E999"
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*ignore(?:\[([A-Za-z0-9_,\s]*)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule, a location, and a human-actionable message."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the one-line text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleUnderLint:
+    """One parsed source file plus the lookups rules need.
+
+    ``dotted_name`` is derived from the path by anchoring at the last
+    ``repro`` component (``src/repro/mem/mmu.py`` -> ``repro.mem.mmu``);
+    files outside the package (e.g. test fixtures) keep their bare stem,
+    which makes them "outside every repro layer" for layering rules.
+    """
+
+    def __init__(self, path: Union[str, Path], source: str) -> None:
+        self.path = str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=self.path)
+        self.dotted_name = self._dotted_name(Path(path))
+        self._suppressions = self._collect_suppressions(self.lines)
+
+    @staticmethod
+    def _dotted_name(path: Path) -> str:
+        parts = list(path.parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if "repro" in parts:
+            anchor = len(parts) - 1 - parts[::-1].index("repro")
+            return ".".join(parts[anchor:])
+        return parts[-1] if parts else ""
+
+    @staticmethod
+    def _collect_suppressions(lines: Sequence[str]) -> Dict[int, Optional[frozenset]]:
+        """line number -> suppressed rule IDs (``None`` = every rule)."""
+        out: Dict[int, Optional[frozenset]] = {}
+        for number, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            listed = match.group(1)
+            if listed is None:
+                out[number] = None
+            else:
+                ids = frozenset(
+                    token.strip() for token in listed.split(",") if token.strip()
+                )
+                out[number] = ids
+        return out
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        ids = self._suppressions.get(violation.line, frozenset())
+        if ids is None:  # bare "# lint: ignore"
+            return True
+        return violation.rule_id in ids
+
+
+class Rule:
+    """Base class: one named check over one :class:`ModuleUnderLint`."""
+
+    rule_id: str = ""
+    title: str = ""
+
+    def check(self, module: ModuleUnderLint) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleUnderLint, node: ast.AST, message: str
+    ) -> Violation:
+        """Anchor a finding to ``node``'s first line."""
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``cls`` to the rule registry by its ID."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rules() -> Dict[str, Type[Rule]]:
+    """Copy of the registry (importing the built-in rules first)."""
+    _ensure_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def _ensure_builtin_rules() -> None:
+    # Imported for the registration side effect; local to avoid a cycle
+    # (rules.py imports this module for the Rule base class).
+    from repro.analysis import rules  # noqa: F401
+
+
+def make_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Instantiate rules — the whole registry, or just the IDs in ``select``."""
+    _ensure_builtin_rules()
+    if select is None:
+        ids = sorted(_REGISTRY)
+    else:
+        ids = list(select)
+        unknown = [rule_id for rule_id in ids if rule_id not in _REGISTRY]
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s) {unknown}; registered: {sorted(_REGISTRY)}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in ids]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run: what was checked and what was found."""
+
+    files_checked: int
+    violations: List[Violation]
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one source string; returns suppression-filtered violations."""
+    if rules is None:
+        rules = make_rules()
+    try:
+        module = ModuleUnderLint(path, source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_RULE_ID,
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    found: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(module):
+            if not module.is_suppressed(violation):
+                found.append(violation)
+    found.sort(key=Violation.sort_key)
+    return found
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = candidate.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                out.append(candidate)
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` and aggregate the findings."""
+    if rules is None:
+        rules = make_rules()
+    files = iter_python_files(paths)
+    violations: List[Violation] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(lint_source(source, path=file_path, rules=rules))
+    violations.sort(key=Violation.sort_key)
+    return LintReport(files_checked=len(files), violations=violations)

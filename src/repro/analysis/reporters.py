@@ -1,0 +1,32 @@
+"""Render a :class:`~repro.analysis.framework.LintReport` for humans or CI.
+
+Two formats:
+
+* text — one ``path:line:col: RULE message`` per finding plus a summary
+  line, the shape every editor and CI log scraper already understands;
+* json — the full report as a stable, sorted document for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """The human-readable report (one line per finding + summary)."""
+    lines = [violation.render() for violation in report.violations]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.clean:
+        lines.append(f"clean: {report.files_checked} {noun}, 0 violations")
+    else:
+        count = len(report.violations)
+        vnoun = "violation" if count == 1 else "violations"
+        lines.append(f"{count} {vnoun} in {report.files_checked} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The machine-readable report (deterministic key order)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)

@@ -11,7 +11,7 @@ percentile queries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 _SUBBUCKETS = 128  # linear subdivisions per power of two: <1% rel. error
 
@@ -49,8 +49,8 @@ class LatencyHistogram:
         self._buckets: Dict[int, int] = {}
         self.count = 0
         self._sum_ns = 0
-        self.min_ns = None  # type: ignore[assignment]
-        self.max_ns = None  # type: ignore[assignment]
+        self.min_ns: Optional[int] = None
+        self.max_ns: Optional[int] = None
 
     def record(self, value_ns: int) -> None:
         """Add one sample."""

@@ -12,6 +12,7 @@ Usage::
     python -m repro ablation                  # stale dirty bits (6.3)
     python -m repro policies                  # victim-policy comparison
     python -m repro trace [--system viyojit]  # structured event trace (JSON/CSV)
+    python -m repro lint [paths...]           # project-specific static analysis
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
 asserts on, so the CLI and the test suite cannot drift apart.
@@ -61,6 +62,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "ablation", "regenerates": "Section 6.3: stale dirty bits"},
         {"command": "policies", "regenerates": "Victim-policy comparison"},
         {"command": "trace", "regenerates": "Structured event trace + epoch timeline"},
+        {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
     return 0
@@ -296,6 +298,18 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--format", args.format]
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -373,6 +387,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", type=str, default=None,
                        help="write to a file instead of stdout")
     trace.set_defaults(func=cmd_trace)
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (same engine as "
+        "python -m repro.analysis); exits 1 on violations",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--select", type=str, default=None,
+                      help="comma-separated rule IDs to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -8,9 +8,26 @@ dirty-page-pressure predictor (section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.sim.clock import NS_PER_MS
+
+
+def _sanitize_default() -> bool:
+    """Default for :attr:`ViyojitConfig.sanitize`.
+
+    The ``REPRO_SANITIZE`` environment variable arms the runtime
+    invariant sanitizer for every config that does not set the flag
+    explicitly — the test suite uses this to sanitize every system it
+    builds (see ``tests/conftest.py``).
+    """
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 @dataclass(frozen=True)
@@ -45,6 +62,14 @@ class ViyojitConfig:
         exist for the replacement-policy ablation.
     policy_seed:
         Seed for randomized policies.
+    sanitize:
+        Arm the :class:`repro.analysis.sanitizer.SimulationSanitizer`:
+        the runtime re-checks the budget bound, evicted-page durability,
+        post-scan coherence, and clock monotonicity at every hook, and
+        raises a typed ``InvariantViolation`` on the first breach.  The
+        checks are pure reads — a sanitized run is byte-identical to an
+        unsanitized one.  Defaults to the ``REPRO_SANITIZE`` environment
+        variable (the test suite sets it).
     """
 
     dirty_budget_pages: int
@@ -56,6 +81,7 @@ class ViyojitConfig:
     proactive: bool = True
     victim_policy: str = "least-recently-updated"
     policy_seed: int = 1
+    sanitize: bool = field(default_factory=_sanitize_default)
 
     def __post_init__(self) -> None:
         if self.dirty_budget_pages <= 0:

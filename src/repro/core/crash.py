@@ -22,11 +22,28 @@ the budget — falls out of the same arithmetic and is exposed via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterable, List, Protocol, Set
 
-from repro.core.runtime import NVDRAMSystem
+from repro.mem.nvdram import NVDRAMRegion
 from repro.power.battery import Battery
 from repro.power.power_model import PowerModel
+
+
+class SupportsDirtyPages(Protocol):
+    """The narrow runtime surface the crash simulator needs.
+
+    Both :class:`repro.core.runtime.Viyojit` and the full-battery
+    baseline satisfy this structurally; extensions (fine-grained
+    trackers, future runtimes) only need a region and a dirty-page
+    query.  Optional capabilities (``dirty_bytes``, ``backing``) are
+    probed with ``getattr`` because the baseline lacks them.
+    """
+
+    region: NVDRAMRegion
+
+    def dirty_pages(self) -> Iterable[int]:
+        """Pages whose durable copy is stale right now."""
+        ...
 
 
 @dataclass
@@ -66,7 +83,7 @@ class CrashSimulator:
 
     def __init__(
         self,
-        system: NVDRAMSystem,
+        system: SupportsDirtyPages,
         power_model: PowerModel,
         battery: Battery,
     ) -> None:
@@ -75,8 +92,7 @@ class CrashSimulator:
         self.battery = battery
 
     def _dirty_set(self) -> Set[int]:
-        dirty = self.system.dirty_pages()  # type: ignore[attr-defined]
-        return set(dirty)
+        return set(self.system.dirty_pages())
 
     def power_failure(self) -> CrashReport:
         """Assess (without mutating anything) a power loss right now."""

@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
+from repro.analysis.sanitizer import SimulationSanitizer
 from repro.core.config import ViyojitConfig
 from repro.core.dirty_tracker import DirtyTracker
 from repro.core.flusher import Flusher
@@ -245,7 +246,7 @@ class FullBatteryNVDRAM(NVDRAMSystem):
     """
 
     def start(self) -> None:
-        self.page_table.write_protected[:] = False
+        self.mmu.unprotect_all()
         super().start()
 
     def _handle_fault(self, pfn: int) -> None:
@@ -309,6 +310,11 @@ class Viyojit(NVDRAMSystem):
             tracer=self.tracer,
         )
         self._victim_queue: Deque[int] = deque()
+        # Runtime invariant checker (repro.analysis): pure reads at each
+        # hook, so arming it cannot perturb the simulation.
+        self.sanitizer: Optional[SimulationSanitizer] = (
+            SimulationSanitizer(self) if config.sanitize else None
+        )
         # Current proactive trigger (recomputed each epoch).  The copier
         # is a continuous background thread in the paper, not an
         # epoch-tick activity: completions refill the IO pipe immediately
@@ -411,6 +417,8 @@ class Viyojit(NVDRAMSystem):
         self.stats.pte_update_time_ns += cost
         self._advance(cost)
         self.tracker.add(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.after_dirtied(pfn)
         self.policy.note_dirtied(pfn)
         self.stats.pages_dirtied += 1
         self.stats.record_dirty_level(self.tracker.count)
@@ -446,6 +454,8 @@ class Viyojit(NVDRAMSystem):
         )
         self.sim.clock.advance(scan_cost)
         self.stats.epoch_scan_time_ns += scan_cost
+        if self.sanitizer is not None:
+            self.sanitizer.after_epoch_scan()
         self.policy.note_scan(updated, self.history.epoch)
         self.history.record_scan(updated)
         new_dirty = self.tracker.roll_epoch()
@@ -461,6 +471,8 @@ class Viyojit(NVDRAMSystem):
 
     def _note_epoch(self, updated: int, new_dirty: int) -> None:
         """Emit the epoch's trace event, gauges, and timeline point."""
+        if not self.tracer.enabled:
+            return
         t = self.sim.now
         dirty = self.tracker.count
         pressure = self.pressure.pressure
@@ -526,6 +538,8 @@ class Viyojit(NVDRAMSystem):
         above the trigger threshold, so its drain rate is bounded by the
         SSD, not by the epoch tick frequency.
         """
+        if self.sanitizer is not None:
+            self.sanitizer.after_flush_complete(pfn)
         self.policy.note_cleaned(pfn)
         if not self.config.proactive or not self._started:
             return
@@ -581,6 +595,8 @@ class Viyojit(NVDRAMSystem):
                 f"{self.region.num_pages} pages"
             )
         self.tracker.budget_pages = int(pages)
+        if self.sanitizer is not None:
+            self.sanitizer.note_budget_change(self.tracker.budget_pages)
 
     def drain_to_budget(self) -> None:
         """Flush cold pages until the dirty count fits the current budget."""
@@ -635,20 +651,20 @@ class HardwareViyojit(Viyojit):
     design to eradicate the tail-latency overheads.
     """
 
-    def _build_mmu(self) -> MMU:
+    def _build_mmu(self) -> HardwareAssistedMMU:
         mmu = HardwareAssistedMMU(self.page_table, self.tlb, self.machine)
-        mmu.on_new_dirty = self._on_hardware_new_dirty  # type: ignore[attr-defined]
+        mmu.on_new_dirty = self._on_hardware_new_dirty
         return mmu
 
     def start(self) -> None:
         super().start()
         # No software write protection in this mode: stores never trap.
-        self.page_table.write_protected[:] = False
+        self.mmu.unprotect_all()
         self.tlb.flush_all()
 
     def _on_mmap(self, mapping: Mapping) -> None:
         for pfn in range(mapping.base_page, mapping.base_page + mapping.num_pages):
-            self.page_table.write_protected[pfn] = False
+            self.mmu.release_protection(pfn)
 
     def _handle_fault(self, pfn: int) -> None:
         # Stores can still fault on pages the flusher protected mid-IO.
@@ -664,6 +680,8 @@ class HardwareViyojit(Viyojit):
         self._advance(cost)
         self._make_room()
         self.tracker.add(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.after_dirtied(pfn)
         self.policy.note_dirtied(pfn)
         self.stats.pages_dirtied += 1
         self.stats.record_dirty_level(self.tracker.count)
@@ -710,6 +728,8 @@ class HardwareViyojit(Viyojit):
             self._advance(self.machine.trap_cost_ns)
             self._make_room()
         self.tracker.add(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.after_dirtied(pfn)
         self.policy.note_dirtied(pfn)
         self.stats.pages_dirtied += 1
         self.stats.record_dirty_level(self.tracker.count)

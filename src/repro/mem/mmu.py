@@ -123,6 +123,24 @@ class MMU:
         self.tlb.invalidate(pfn)
         return self.machine.pte_update_cost_ns
 
+    def unprotect_all(self) -> None:
+        """Clear every write-protect bit without charging costs.
+
+        Setup-time only (baseline start, hardware-tracking start): this
+        models boot-time page-table initialisation, not a runtime PTE
+        toggle, so no shootdown or PTE-update cost accrues.
+        """
+        self.page_table.unprotect_all()
+
+    def release_protection(self, pfn: int) -> None:
+        """Clear one page's write-protect bit without a shootdown charge.
+
+        The hardware-tracking mmap path: pages become writable as part of
+        allocation bookkeeping (stores never trap for tracking in that
+        mode), so neither an ``invlpg`` nor a PTE-update cost is paid.
+        """
+        self.page_table.unprotect(pfn)
+
     def epoch_scan(self, flush_tlb: bool = True):
         """One epoch boundary: optional TLB flush, then walk + clear dirty bits.
 
@@ -155,14 +173,16 @@ class HardwareAssistedMMU(MMU):
     track of which pages are in the dirty set.
     """
 
+    #: Fired *before* a 0->1 shadow-dirty transition commits, so the OS
+    #: can make room under the budget before the store retires.  The
+    #: runtime points this at its eviction path.
+    on_new_dirty: Optional[Callable[[int], None]] = None
+
     def __init__(self, page_table: PageTable, tlb: TLB, machine: MachineModel) -> None:
         super().__init__(page_table, tlb, machine)
         self.dirty_counter = 0
         self.interrupt_threshold: Optional[int] = None
         self.on_threshold: Optional[Callable[[int], None]] = None
-        # Fired *before* a 0->1 shadow-dirty transition commits, so the OS
-        # can make room under the budget before the store retires.
-        self.on_new_dirty: Optional[Callable[[int], None]] = None
         self.interrupts_raised = 0
 
     def set_threshold(self, threshold: Optional[int], callback: Optional[Callable[[int], None]]) -> None:

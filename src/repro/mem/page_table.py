@@ -56,6 +56,10 @@ class PageTable:
         """Write-protect every page — Viyojit startup (Fig 6 step 1)."""
         self.write_protected[:] = True
 
+    def unprotect_all(self) -> None:
+        """Clear every write-protect bit — baseline / hardware-mode startup."""
+        self.write_protected[:] = False
+
     def protected_count(self) -> int:
         return int(self.write_protected.sum())
 

@@ -1,0 +1,35 @@
+"""Fixture: D1 determinism violations (parsed by the linter, never run)."""
+import random
+import time
+
+import numpy as np
+
+
+def wall_clock_stamp():
+    return time.time()
+
+
+def monotonic_stamp():
+    return time.perf_counter_ns()
+
+
+def unseeded_instance():
+    return random.Random()
+
+
+def global_rng_roll():
+    return random.randint(0, 6)
+
+
+def numpy_global_noise():
+    return np.random.rand(4)
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def seeded_is_fine():
+    rng = random.Random(7)
+    gen = np.random.default_rng(7)
+    return rng.random(), gen.random()

@@ -1,0 +1,12 @@
+"""Fixture: E1 violations — bare assert for invariant enforcement."""
+
+
+def enforce_budget(count, budget):
+    assert count <= budget, "budget violated"
+    return count
+
+
+def typed_exception_is_fine(count, budget):
+    if count > budget:
+        raise RuntimeError(f"budget violated: {count} > {budget}")
+    return count

@@ -1,0 +1,29 @@
+"""Fixture: T1 violations — trace events built outside a tracer guard."""
+from repro.obs.events import BudgetWait, WriteFault
+
+
+def unguarded(tracer, pfn, now):
+    tracer.emit(WriteFault(t=now, pfn=pfn))
+
+
+def guard_in_wrong_branch(tracer, pfn, now):
+    if tracer.enabled:
+        pass
+    else:
+        tracer.emit(BudgetWait(t=now, wait_ns=3))
+
+
+def lexically_guarded(tracer, pfn, now):
+    if tracer.enabled:
+        tracer.emit(WriteFault(t=now, pfn=pfn))
+
+
+def early_return_guarded(tracer, pfn, now):
+    if not tracer.enabled:
+        return
+    tracer.emit(WriteFault(t=now, pfn=pfn))
+
+
+def and_chain_guarded(tracer, pfn, now, noisy):
+    if noisy and tracer.enabled:
+        tracer.emit(WriteFault(t=now, pfn=pfn))

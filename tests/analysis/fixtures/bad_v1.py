@@ -1,0 +1,15 @@
+"""Fixture: V1 violations — wall clocks flowing into *_ns quantities."""
+import time
+
+
+def deadline(sim, scheduler):
+    start_ns = time.monotonic_ns()
+    scheduler.schedule(when_ns=time.time_ns() + 5)
+    sim.deadline_ns = int(time.time() * 1e9)
+    return start_ns
+
+
+def virtual_is_fine(sim):
+    start_ns = sim.clock.now
+    elapsed_ns = sim.clock.now - start_ns
+    return elapsed_ns

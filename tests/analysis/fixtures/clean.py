@@ -1,0 +1,11 @@
+"""Fixture: a file every rule accepts."""
+import random
+
+
+def seeded(seed):
+    return random.Random(seed).random()
+
+
+def virtual_time(sim):
+    start_ns = sim.clock.now
+    return sim.clock.now - start_ns

@@ -1,0 +1,18 @@
+"""Fixture: suppression comments silence findings per line and per rule."""
+import time
+
+
+def suppressed_by_id():
+    return time.time()  # lint: ignore[D1]
+
+
+def suppressed_blanket():
+    return time.time()  # lint: ignore
+
+
+def suppressed_multi(page_table, pfn):
+    return page_table.dirty[pfn]  # lint: ignore[L1, D1]
+
+
+def wrong_id_still_flagged(page_table, pfn):
+    return page_table.dirty[pfn]  # lint: ignore[D1]

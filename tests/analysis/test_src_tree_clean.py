@@ -1,0 +1,23 @@
+"""The shipped ``src/`` tree must lint clean under every rule.
+
+This is the enforcement test behind the CI lint job: any new wall-clock
+call, unseeded RNG, unguarded event construction, PTE-bit poke outside
+``repro.mem``, or bare assert anywhere under ``src/`` fails the suite
+with the exact ``path:line:col: RULE message`` lines in the report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_lints_clean():
+    report = lint_paths([SRC])
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"src/ has lint violations:\n{rendered}"
+    # Sanity: the walk actually covered the package, not an empty dir.
+    assert report.files_checked >= 50

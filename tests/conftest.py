@@ -6,6 +6,16 @@ tests run in milliseconds; the mechanisms under test are scale-free.
 
 from __future__ import annotations
 
+import os
+
+# Arm the runtime invariant sanitizer for the whole suite: every
+# Viyojit/HardwareViyojit any test builds re-checks the budget bound,
+# evicted-page durability, post-scan coherence, and clock monotonicity
+# (see repro.analysis.sanitizer).  The checks are pure reads, so the
+# golden-trace fixtures — generated without the sanitizer — must still
+# match byte-for-byte; that equality is itself a regression test.
+os.environ.setdefault("REPRO_SANITIZE", "1")
+
 import pytest
 
 from repro.core.config import ViyojitConfig
