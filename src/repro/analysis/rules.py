@@ -261,6 +261,8 @@ EVENT_CLASS_NAMES = frozenset(
         "SSDWrite",
         "BudgetWait",
         "FlushComplete",
+        "SSDFault",
+        "BatteryDegraded",
     }
 )
 

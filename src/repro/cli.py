@@ -12,6 +12,8 @@ Usage::
     python -m repro ablation                  # stale dirty bits (6.3)
     python -m repro policies                  # victim-policy comparison
     python -m repro trace [--system viyojit]  # structured event trace (JSON/CSV)
+    python -m repro crashfind --trace zipfian --crash-points all
+                                              # exhaustive crash-point exploration
     python -m repro lint [paths...]           # project-specific static analysis
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
@@ -62,6 +64,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "ablation", "regenerates": "Section 6.3: stale dirty bits"},
         {"command": "policies", "regenerates": "Victim-policy comparison"},
         {"command": "trace", "regenerates": "Structured event trace + epoch timeline"},
+        {"command": "crashfind", "regenerates": "Crash-point exploration (durability at every boundary)"},
         {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
@@ -256,6 +259,87 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crashfind(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.faults import (
+        FaultPlan,
+        SSDFaultRule,
+        explore_crash_points,
+        load_fault_plan,
+    )
+    from repro.obs.harness import TraceWorkload
+
+    spec = TraceWorkload(
+        system=args.system,
+        num_pages=args.pages,
+        dirty_budget_pages=args.budget,
+        hot_pages=args.hot_pages,
+        ops=args.ops,
+        seed=args.seed,
+        theta=args.theta,
+    )
+    if args.fault_plan:
+        plan = load_fault_plan(args.fault_plan)
+    elif args.ssd_fail_rate > 0:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            ssd_rules=(SSDFaultRule(op="write", fail_prob=args.ssd_fail_rate),),
+        )
+    else:
+        plan = FaultPlan(seed=args.fault_seed)
+    if args.crash_points == "all":
+        stride = 1
+    else:
+        try:
+            stride = int(args.crash_points)
+        except ValueError:
+            raise SystemExit(
+                f"--crash-points must be 'all' or a stride: {args.crash_points!r}"
+            )
+        if stride < 1:
+            raise SystemExit(f"--crash-points stride must be >= 1: {stride}")
+    report = explore_crash_points(
+        spec,
+        plan,
+        stride=stride,
+        op_stride=args.op_stride,
+        replay=args.replay,
+    )
+    if args.format == "json":
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        total_lost = sum(p.pages_lost for p in report.points)
+        total_corrupt = sum(p.pages_corrupt for p in report.points)
+        rows = [
+            {
+                "system": spec.system,
+                "ops": report.ops_applied,
+                "crash_points": report.candidates_total,
+                "probed": report.probed,
+                "pages_lost": total_lost,
+                "pages_corrupt": total_corrupt,
+                "ssd_faults": report.injected_failures,
+                "flush_retries": report.flush_retries,
+                "replays_ok": f"{len(report.replays) - report.replay_mismatches}"
+                f"/{len(report.replays)}",
+                "checksum": report.checksum()[:12],
+            }
+        ]
+        print(
+            format_table(
+                rows, title="Crash-point exploration (0 lost everywhere = durable)"
+            )
+        )
+        for point in report.failures:
+            print(
+                f"FAILED crash point #{point.index} ({point.kind}) at "
+                f"t={point.t_ns}: lost={point.pages_lost} "
+                f"corrupt={point.pages_corrupt} survives={point.survives}"
+            )
+    return 0 if report.all_ok else 1
+
+
 def cmd_ablation(args: argparse.Namespace) -> int:
     rows = experiments.stale_bits_ablation(scale=_scale_from(args))
     print(format_table(rows, title="Section 6.3: stale dirty bits (YCSB-A, 11%)"))
@@ -387,6 +471,48 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", type=str, default=None,
                        help="write to a file instead of stdout")
     trace.set_defaults(func=cmd_trace)
+
+    crashfind = sub.add_parser(
+        "crashfind",
+        help="enumerate every flush/eviction/fault boundary of a seeded "
+        "workload as a crash instant and verify full recovery at each "
+        "(deterministic; exits 1 if any crash point loses data)",
+    )
+    crashfind.add_argument("--trace", default="zipfian", choices=("zipfian",),
+                           help="workload family (only zipfian for now)")
+    crashfind.add_argument("--system", default="viyojit",
+                           choices=("viyojit", "nvdram", "hardware"),
+                           help="runtime variant to explore (default viyojit)")
+    crashfind.add_argument("--pages", type=int, default=192,
+                           help="NV-DRAM region size in pages")
+    crashfind.add_argument("--budget", type=int, default=12,
+                           help="dirty budget in pages (ignored for nvdram)")
+    crashfind.add_argument("--hot-pages", type=int, default=64,
+                           help="zipfian key space in pages")
+    crashfind.add_argument("--ops", type=int, default=400,
+                           help="operations to replay")
+    crashfind.add_argument("--seed", type=int, default=7)
+    crashfind.add_argument("--theta", type=float, default=0.99,
+                           help="zipfian skew (default 0.99)")
+    crashfind.add_argument("--crash-points", default="all",
+                           help="'all' or an integer stride N (probe every "
+                           "Nth candidate boundary)")
+    crashfind.add_argument("--op-stride", type=int, default=0,
+                           help="additionally probe after every Nth op "
+                           "(the nvdram baseline emits no event boundaries)")
+    crashfind.add_argument("--replay", type=int, default=0,
+                           help="cross-validate N probed boundaries with a "
+                           "real replayed power cut")
+    crashfind.add_argument("--fault-plan", type=str, default=None,
+                           help="JSON fault-plan file to arm during the run")
+    crashfind.add_argument("--ssd-fail-rate", type=float, default=0.0,
+                           help="shorthand plan: fail this fraction of SSD "
+                           "write submissions (retries must absorb them)")
+    crashfind.add_argument("--fault-seed", type=int, default=1,
+                           help="seed for the fault plan's RNG stream")
+    crashfind.add_argument("--format", choices=("table", "json"),
+                           default="table")
+    crashfind.set_defaults(func=cmd_crashfind)
 
     lint = sub.add_parser(
         "lint",

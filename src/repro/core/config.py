@@ -49,6 +49,14 @@ class ViyojitConfig:
         (paper: 0.75).
     max_outstanding_io:
         Cap on concurrent flush IOs (paper: 16).
+    max_flush_retries:
+        Bounded retries after a failed SSD submission (fault injection,
+        :mod:`repro.faults`).  Each retry backs off exponentially from
+        ``flush_retry_backoff_ns``; exhaustion surfaces a typed
+        :class:`repro.core.flusher.FlushFailure`.
+    flush_retry_backoff_ns:
+        Base virtual-time backoff before the first retry; attempt *i*
+        waits ``flush_retry_backoff_ns * 2**(i-1)``.
     flush_tlb_on_scan:
         True for the paper's default; False reproduces the section 6.3
         stale-dirty-bit ablation (throughput drops by more than half at
@@ -77,6 +85,8 @@ class ViyojitConfig:
     history_epochs: int = 64
     pressure_alpha: float = 0.75
     max_outstanding_io: int = 16
+    max_flush_retries: int = 4
+    flush_retry_backoff_ns: int = 50_000
     flush_tlb_on_scan: bool = True
     proactive: bool = True
     victim_policy: str = "least-recently-updated"
@@ -100,6 +110,15 @@ class ViyojitConfig:
         if self.max_outstanding_io <= 0:
             raise ValueError(
                 f"max_outstanding_io must be positive: {self.max_outstanding_io}"
+            )
+        if self.max_flush_retries < 0:
+            raise ValueError(
+                f"max_flush_retries must be non-negative: {self.max_flush_retries}"
+            )
+        if self.flush_retry_backoff_ns < 0:
+            raise ValueError(
+                f"flush_retry_backoff_ns must be non-negative: "
+                f"{self.flush_retry_backoff_ns}"
             )
         from repro.core.policies import POLICY_NAMES
 

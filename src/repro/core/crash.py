@@ -22,11 +22,12 @@ the budget — falls out of the same arithmetic and is exposed via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Protocol, Set
+from typing import Dict, Iterable, List, Protocol, Set, runtime_checkable
 
 from repro.mem.nvdram import NVDRAMRegion
 from repro.power.battery import Battery
 from repro.power.power_model import PowerModel
+from repro.storage.backing_store import BackingStore
 
 
 class SupportsDirtyPages(Protocol):
@@ -35,14 +36,36 @@ class SupportsDirtyPages(Protocol):
     Both :class:`repro.core.runtime.Viyojit` and the full-battery
     baseline satisfy this structurally; extensions (fine-grained
     trackers, future runtimes) only need a region and a dirty-page
-    query.  Optional capabilities (``dirty_bytes``, ``backing``) are
-    probed with ``getattr`` because the baseline lacks them.
+    query.
     """
 
     region: NVDRAMRegion
 
     def dirty_pages(self) -> Iterable[int]:
         """Pages whose durable copy is stale right now."""
+        ...
+
+
+@runtime_checkable
+class SupportsRecovery(SupportsDirtyPages, Protocol):
+    """A runtime whose durability can actually be *verified*.
+
+    The secondary capabilities the crash simulator needs to rebuild and
+    check a post-recovery image: a durable :class:`BackingStore` and an
+    exact dirty-byte query.  These used to be probed with ``getattr``,
+    which meant a mis-wired (e.g. fault-injected or wrapped) runtime
+    silently fell back to the baseline path and *skipped* durability
+    verification.  They are now an explicit protocol: a system handed to
+    :class:`CrashSimulator` must either satisfy it or declare the
+    full-battery assumption via an ``assumes_full_battery`` marker
+    (:class:`repro.core.runtime.FullBatteryNVDRAM`); anything else is a
+    loud :class:`TypeError` at construction time.
+    """
+
+    backing: BackingStore
+
+    def dirty_bytes(self) -> int:
+        """Exact bytes whose durable copy is stale right now."""
         ...
 
 
@@ -87,9 +110,25 @@ class CrashSimulator:
         power_model: PowerModel,
         battery: Battery,
     ) -> None:
+        # Loud capability check (no getattr fallbacks): the system either
+        # supports full recovery verification or explicitly declares the
+        # full-battery assumption.  A fault-injected or wrapped runtime
+        # that loses `backing`/`dirty_bytes` must fail here, not silently
+        # skip durability verification.
+        recoverable = isinstance(system, SupportsRecovery)
+        full_battery = getattr(system, "assumes_full_battery", False) is True
+        if not recoverable and not full_battery:
+            raise TypeError(
+                f"{type(system).__name__} is neither recovery-verifiable "
+                "(SupportsRecovery: a `backing` store and a `dirty_bytes()` "
+                "query) nor marked `assumes_full_battery`; refusing to "
+                "construct a CrashSimulator that would silently skip "
+                "durability verification"
+            )
         self.system = system
         self.power_model = power_model
         self.battery = battery
+        self._recoverable = recoverable
 
     def _dirty_set(self) -> Set[int]:
         return set(self.system.dirty_pages())
@@ -98,11 +137,12 @@ class CrashSimulator:
         """Assess (without mutating anything) a power loss right now."""
         dirty = self._dirty_set()
         page_size = self.system.region.page_size
-        # Byte-granular trackers (the section 7 fine-grained extension)
-        # expose exact dirty bytes; page-granular systems flush full pages.
-        dirty_bytes_fn = getattr(self.system, "dirty_bytes", None)
-        if callable(dirty_bytes_fn):
-            dirty_bytes = dirty_bytes_fn()
+        # Recovery-verifiable systems expose exact dirty bytes (the
+        # section 7 fine-grained extension reports sub-page totals);
+        # full-battery baselines flush full pages.
+        system = self.system
+        if isinstance(system, SupportsRecovery):
+            dirty_bytes = system.dirty_bytes()
         else:
             dirty_bytes = len(dirty) * page_size
         energy = self.power_model.energy_to_flush(dirty_bytes)
@@ -137,7 +177,8 @@ class CrashSimulator:
         """
         report = self.power_failure()
         region = self.system.region
-        backing = getattr(self.system, "backing", None)
+        system = self.system
+        backing = system.backing if isinstance(system, SupportsRecovery) else None
 
         # The battery-powered flush: dirty pages' current contents reach
         # durable media (except any the battery cannot afford).

@@ -15,6 +15,14 @@ Both flush flavours go through :meth:`Flusher.issue`:
 
 The page stays in the dirty set (and thus keeps consuming battery budget)
 until the SSD acknowledges the write.
+
+Submission failures (the fault injector's :class:`~repro.storage.ssd.
+SSDFaultError`) are absorbed by bounded exponential retry-with-backoff:
+attempt *i* re-submits ``retry_backoff_ns * 2**(i-1)`` virtual ns later,
+charging the backoff to the issuing thread.  When the retry budget is
+exhausted the page's protection is rolled back (it stays dirty and
+writable) and a typed :class:`FlushFailure` surfaces to the caller — the
+device outage is reported, never silently swallowed mid-eviction.
 """
 
 from __future__ import annotations
@@ -29,7 +37,27 @@ from repro.obs.events import FlushComplete
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.events import Simulation
 from repro.storage.backing_store import BackingStore
-from repro.storage.ssd import SSD
+from repro.storage.ssd import SSD, SSDFaultError
+
+
+class FlushFailure(RuntimeError):
+    """Every submission attempt for one page flush failed.
+
+    Raised by :meth:`Flusher.issue` after ``1 + max_retries`` rejected
+    submissions.  The page is left dirty and writable (its protection is
+    rolled back), so the system remains consistent: the flush simply did
+    not happen, and the caller decides whether to pick another victim,
+    propagate, or shut down.
+    """
+
+    def __init__(self, pfn: int, attempts: int, last_error: SSDFaultError) -> None:
+        super().__init__(
+            f"flush of page {pfn} failed after {attempts} submission "
+            f"attempt(s): {last_error}"
+        )
+        self.pfn = pfn
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class Flusher:
@@ -48,6 +76,8 @@ class Flusher:
         on_cleaned=None,
         reducer=None,
         tracer: Tracer = NULL_TRACER,
+        max_retries: int = 4,
+        retry_backoff_ns: int = 50_000,
     ) -> None:
         self.sim = sim
         self.mmu = mmu
@@ -63,6 +93,16 @@ class Flusher:
         # Optional hook: bytes to write for a page (sub-page tracking
         # flushes only a page's dirty blocks; default = the whole page).
         self.flush_bytes_of = None
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative: {max_retries}")
+        if retry_backoff_ns < 0:
+            raise ValueError(
+                f"retry_backoff_ns must be non-negative: {retry_backoff_ns}"
+            )
+        self.max_retries = int(max_retries)
+        self.retry_backoff_ns = int(retry_backoff_ns)
+        self.retries = 0        # submissions re-attempted after a fault
+        self.retry_failures = 0  # FlushFailures surfaced (retry exhaustion)
         self._inflight: Dict[int, int] = {}  # pfn -> completion time (ns)
         self.tracer = tracer
         self._flush_latency = (
@@ -126,7 +166,8 @@ class Flusher:
             physical = max(1, reduced.physical_bytes)
             cost += reduced.cpu_cost_ns
         issued_at = self.sim.now
-        completion = self.ssd.submit_write(issued_at, physical)
+        completion, backoff_ns = self._submit_with_retry(pfn, issued_at, physical)
+        cost += backoff_ns
         self._inflight[pfn] = completion
         self.stats.pages_flushed += 1
         self.stats.bytes_flushed += nbytes
@@ -150,3 +191,31 @@ class Flusher:
 
         self.sim.schedule_at(completion, complete)
         return cost
+
+    def _submit_with_retry(self, pfn: int, issued_at: int, physical: int):
+        """Submit ``physical`` bytes, retrying rejected submissions.
+
+        Returns ``(completion_ns, backoff_ns)`` where ``backoff_ns`` is
+        the total virtual time the issuing thread spent backing off (zero
+        on first-attempt success, which is the only path a fault-free run
+        ever takes).  On exhaustion, rolls the page's protection back and
+        raises :class:`FlushFailure`.
+        """
+        backoff_ns = 0
+        attempt = 1
+        while True:
+            try:
+                completion = self.ssd.submit_write(issued_at + backoff_ns, physical)
+                return completion, backoff_ns
+            except SSDFaultError as exc:
+                if attempt > self.max_retries:
+                    self.retry_failures += 1
+                    # Roll back the protect-before-copy step: the flush
+                    # never happened, so the page stays dirty *and*
+                    # writable instead of wedging behind a protection it
+                    # will never be released from.
+                    self.mmu.unprotect_page(pfn)
+                    raise FlushFailure(pfn, attempt, exc) from exc
+                self.retries += 1
+                backoff_ns += self.retry_backoff_ns * (2 ** (attempt - 1))
+                attempt += 1

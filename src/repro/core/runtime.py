@@ -28,12 +28,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance only
+    from repro.power.battery import Battery
+    from repro.power.power_model import PowerModel
 
 from repro.analysis.sanitizer import SimulationSanitizer
 from repro.core.config import ViyojitConfig
 from repro.core.dirty_tracker import DirtyTracker
-from repro.core.flusher import Flusher
+from repro.core.flusher import Flusher, FlushFailure
 from repro.core.history import UpdateHistory
 from repro.core.pressure import PressureEstimator
 from repro.core.stats import ViyojitStats
@@ -245,6 +249,13 @@ class FullBatteryNVDRAM(NVDRAMSystem):
     costs, which is what the paper's "NV-DRAM" baseline curves measure.
     """
 
+    #: Declares the full-battery durability assumption explicitly so the
+    #: crash simulator's recovery walk (repro.core.crash) may take the
+    #: whole-region path without a backing store.  Any runtime *without*
+    #: this marker must expose a backing store or the simulator refuses
+    #: to verify it (fail loudly, never silently skip).
+    assumes_full_battery = True
+
     def start(self) -> None:
         self.mmu.unprotect_all()
         super().start()
@@ -261,6 +272,11 @@ class FullBatteryNVDRAM(NVDRAMSystem):
 
 class Viyojit(NVDRAMSystem):
     """Dirty-budget-bounded NV-DRAM (the paper's system)."""
+
+    #: Consecutive :class:`FlushFailure`s tolerated inside one eviction
+    #: loop (each already represents an exhausted retry budget) before
+    #: the outage is re-raised to the application.
+    max_eviction_flush_failures = 3
 
     def __init__(
         self,
@@ -308,7 +324,11 @@ class Viyojit(NVDRAMSystem):
             on_cleaned=self._on_flush_cleaned,
             reducer=reducer,
             tracer=self.tracer,
+            max_retries=config.max_flush_retries,
+            retry_backoff_ns=config.flush_retry_backoff_ns,
         )
+        #: FlushFailures absorbed by the eviction loops (victim rotated).
+        self.eviction_flush_failures = 0
         self._victim_queue: Deque[int] = deque()
         # Runtime invariant checker (repro.analysis): pure reads at each
         # hook, so arming it cannot perturb the simulation.
@@ -386,6 +406,36 @@ class Viyojit(NVDRAMSystem):
 
         # Make room: at the budget, the least-recently-updated dirty page
         # is synchronously written out before this page may be dirtied.
+        self._make_room()
+
+        cost = self.mmu.unprotect_page(pfn)
+        self.stats.pte_update_time_ns += cost
+        self._advance(cost)
+        # The PTE-update advance drains due simulation events; a scheduled
+        # battery-degradation step may have just shrunk the budget (and
+        # drained down to it), so the room made above can be gone again.
+        if self.tracker.at_budget:
+            self._make_room()
+        self.tracker.add(pfn)
+        if self.sanitizer is not None:
+            self.sanitizer.after_dirtied(pfn)
+        self.policy.note_dirtied(pfn)
+        self.stats.pages_dirtied += 1
+        self.stats.record_dirty_level(self.tracker.count)
+        if self._h_fault is not None:
+            self._h_fault.observe(self.sim.now - entered_at)
+
+    def _make_room(self) -> None:
+        """Evict synchronously until the dirty set is under budget.
+
+        Fig 6 steps 5-7, shared by the software fault handler and the
+        hardware budget interrupt.  A victim whose flush fails even after
+        the flusher's bounded retries (an injected device outage) is
+        rotated out for another victim; after
+        :attr:`max_eviction_flush_failures` consecutive exhaustions the
+        :class:`FlushFailure` propagates to the application.
+        """
+        consecutive_failures = 0
         while self.tracker.at_budget:
             victim = self._next_victim()
             if victim is None:
@@ -402,7 +452,15 @@ class Viyojit(NVDRAMSystem):
             if not self.flusher.has_slot():
                 self._wait_until(self.flusher.earliest_completion())
                 continue
-            issue_cost = self.flusher.issue(victim)
+            try:
+                issue_cost = self.flusher.issue(victim)
+            except FlushFailure:
+                self.eviction_flush_failures += 1
+                consecutive_failures += 1
+                if consecutive_failures >= self.max_eviction_flush_failures:
+                    raise
+                continue
+            consecutive_failures = 0
             self._advance(issue_cost)
             self.stats.sync_evictions += 1
             if self.tracer.enabled:
@@ -412,18 +470,6 @@ class Viyojit(NVDRAMSystem):
                     )
                 )
             self._wait_until(self.flusher.completion_time(victim))
-
-        cost = self.mmu.unprotect_page(pfn)
-        self.stats.pte_update_time_ns += cost
-        self._advance(cost)
-        self.tracker.add(pfn)
-        if self.sanitizer is not None:
-            self.sanitizer.after_dirtied(pfn)
-        self.policy.note_dirtied(pfn)
-        self.stats.pages_dirtied += 1
-        self.stats.record_dirty_level(self.tracker.count)
-        if self._h_fault is not None:
-            self._h_fault.observe(self.sim.now - entered_at)
 
     # -- victim selection ------------------------------------------------------
 
@@ -598,6 +644,35 @@ class Viyojit(NVDRAMSystem):
         if self.sanitizer is not None:
             self.sanitizer.note_budget_change(self.tracker.budget_pages)
 
+    def retune_for_battery(
+        self,
+        power_model: "PowerModel",
+        battery: "Battery",
+        *,
+        floor_pages: int = 1,
+        drain: bool = True,
+    ) -> int:
+        """Section 8: graceful budget shrink after battery capacity loss.
+
+        Re-derives the dirty budget the (possibly degraded) ``battery``
+        can actually flush, applies it, and — when ``drain`` is true and
+        the dirty count sits above the new bound — drains the excess
+        dirty pages so the durability invariant is restored as fast as
+        the SSD allows.  The budget never drops below ``floor_pages``
+        (a dead battery cannot make the budget zero; Viyojit degrades to
+        a tiny budget instead of disabling NV-DRAM) and never exceeds
+        the region.  Returns the budget now in force.
+        """
+        if floor_pages <= 0:
+            raise ValueError(f"floor_pages must be positive: {floor_pages}")
+        derived = power_model.dirty_budget_pages(battery, self.region.page_size)
+        applied = max(int(floor_pages), min(int(derived), self.region.num_pages))
+        if applied != self.tracker.budget_pages:
+            self.set_dirty_budget(applied)
+        if drain and self._started and self.tracker.count > applied:
+            self.drain_to_budget()
+        return applied
+
     def drain_to_budget(self) -> None:
         """Flush cold pages until the dirty count fits the current budget."""
         self._require_started()
@@ -687,32 +762,6 @@ class HardwareViyojit(Viyojit):
         self.stats.record_dirty_level(self.tracker.count)
         if self._h_fault is not None:
             self._h_fault.observe(self.sim.now - entered_at)
-
-    def _make_room(self) -> None:
-        while self.tracker.at_budget:
-            victim = self._next_victim()
-            if victim is None:
-                self.stats.budget_waits += 1
-                wait_from = self.sim.now
-                self._wait_until(self.flusher.earliest_completion())
-                if self.tracer.enabled:
-                    self.tracer.emit(
-                        BudgetWait(t=wait_from, wait_ns=self.sim.now - wait_from)
-                    )
-                continue
-            if not self.flusher.has_slot():
-                self._wait_until(self.flusher.earliest_completion())
-                continue
-            issue_cost = self.flusher.issue(victim)
-            self._advance(issue_cost)
-            self.stats.sync_evictions += 1
-            if self.tracer.enabled:
-                self.tracer.emit(
-                    SyncEviction(
-                        t=self.sim.now, pfn=victim, dirty=self.tracker.count
-                    )
-                )
-            self._wait_until(self.flusher.completion_time(victim))
 
     def _on_hardware_new_dirty(self, pfn: int) -> None:
         """Hardware counted a 0->1 dirty transition: sync the OS dirty set.

@@ -1,0 +1,214 @@
+"""Run the shared trace workload under a fault plan, verify survival.
+
+Builds the full bundle one adversarial run needs — simulation, runtime,
+properly-sized battery, power model, crash simulator, fault injector —
+around the same :class:`repro.obs.harness.TraceWorkload` op stream the
+golden traces use.  Battery sizing follows the paper: Viyojit provisions
+for its dirty budget (:func:`repro.core.crash.viyojit_battery`), the
+baseline for the whole region (:func:`repro.core.crash.
+full_backup_battery`), so the durability invariant is exactly as tight
+as the paper claims — no slack hiding injected damage.
+
+:func:`run_faulted_workload` replays the op stream with the plan armed.
+If the plan cuts power, the :class:`~repro.faults.injector.PowerCut`
+is caught mid-op and the crash simulator verifies that recovery
+reconstructs every page from durable state; otherwise the run drains and
+the final state is verified the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.crash import (
+    CrashReport,
+    CrashSimulator,
+    RecoveryReport,
+    full_backup_battery,
+    viyojit_battery,
+)
+from repro.core.runtime import Mapping, NVDRAMSystem, Viyojit
+from repro.faults.injector import FaultInjector, PowerCut, TriggerTracer
+from repro.faults.plan import FaultPlan
+from repro.obs.harness import TraceWorkload, apply_op, build_system, iter_workload_ops
+from repro.obs.tracer import RecordingTracer, Tracer
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+from repro.sim.events import Simulation
+
+
+@dataclass
+class FaultRunBundle:
+    """Everything :func:`build_faulted_run` wires together."""
+
+    spec: TraceWorkload
+    plan: FaultPlan
+    sim: Simulation
+    system: NVDRAMSystem
+    mapping: Mapping
+    battery: Battery
+    power_model: PowerModel
+    crash_sim: CrashSimulator
+    injector: FaultInjector
+    tracer: RecordingTracer
+
+
+@dataclass
+class FaultRunResult:
+    """Outcome of one faulted run (``repro crashfind --fault-plan`` core)."""
+
+    spec: TraceWorkload
+    plan: FaultPlan
+    ops_applied: int
+    power_cut: Optional[PowerCut]
+    crash: CrashReport
+    recovery: RecoveryReport
+    injected_failures: int
+    injected_delays: int
+    battery_degradations: int
+    flush_retries: int
+    final_budget: Optional[int]
+
+    @property
+    def survived(self) -> bool:
+        """Did the (possibly cut) run lose or corrupt nothing?"""
+        return self.crash.survives and self.recovery.intact
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.spec.as_meta(),
+            "fault_plan": self.plan.to_dict(),
+            "ops_applied": self.ops_applied,
+            "power_cut": (
+                {"at_ns": self.power_cut.at_ns, "source": self.power_cut.source}
+                if self.power_cut is not None
+                else None
+            ),
+            "survived": self.survived,
+            "crash": {
+                "dirty_pages": self.crash.dirty_pages,
+                "dirty_bytes": self.crash.dirty_bytes,
+                "energy_margin_joules": self.crash.energy_margin_joules,
+                "pages_lost": self.crash.pages_lost,
+            },
+            "recovery": {
+                "pages_checked": self.recovery.pages_checked,
+                "pages_corrupt": self.recovery.pages_corrupt,
+                "pages_lost": self.recovery.pages_lost,
+            },
+            "injected": {
+                "ssd_failures": self.injected_failures,
+                "ssd_delays": self.injected_delays,
+                "battery_degradations": self.battery_degradations,
+                "flush_retries": self.flush_retries,
+            },
+            "final_budget": self.final_budget,
+        }
+
+
+def _battery_for(
+    spec: TraceWorkload, system: NVDRAMSystem, power_model: PowerModel
+) -> Battery:
+    page_size = system.region.page_size
+    if spec.system == "nvdram":
+        return full_backup_battery(power_model, spec.num_pages * page_size)
+    return viyojit_battery(power_model, spec.dirty_budget_pages * page_size)
+
+
+def build_faulted_run(
+    spec: TraceWorkload,
+    plan: Optional[FaultPlan] = None,
+    tracer: Optional[RecordingTracer] = None,
+    power_model: Optional[PowerModel] = None,
+) -> FaultRunBundle:
+    """Construct (started) system + battery + crash sim + armed injector.
+
+    ``tracer`` defaults to a fresh :class:`RecordingTracer`; pass a
+    :class:`~repro.faults.injector.TriggerTracer` to cut power on an
+    event occurrence.  The plan's event-based power cut is honoured by
+    building that trigger automatically.
+    """
+    if plan is None:
+        plan = FaultPlan()
+    if power_model is None:
+        power_model = PowerModel()
+    if tracer is None:
+        cut = plan.power_cut
+        if cut is not None and cut.on_event is not None:
+            tracer = TriggerTracer(cut.on_event, cut.occurrence)
+        else:
+            tracer = RecordingTracer()
+    sim = Simulation()
+    system = build_system(sim, spec, tracer)
+    mapping = system.mmap(spec.hot_pages * system.region.page_size)
+    battery = _battery_for(spec, system, power_model)
+    crash_sim = CrashSimulator(system, power_model, battery)
+    injector = FaultInjector(plan, sim, tracer=tracer)
+    injector.attach(
+        ssd=system.ssd if isinstance(system, Viyojit) else None,
+        system=system if isinstance(system, Viyojit) else None,
+        battery=battery,
+        power_model=power_model,
+    )
+    return FaultRunBundle(
+        spec=spec,
+        plan=plan,
+        sim=sim,
+        system=system,
+        mapping=mapping,
+        battery=battery,
+        power_model=power_model,
+        crash_sim=crash_sim,
+        injector=injector,
+        tracer=tracer,
+    )
+
+
+def run_faulted_workload(
+    spec: TraceWorkload,
+    plan: Optional[FaultPlan] = None,
+    tracer: Optional[Tracer] = None,
+    power_model: Optional[PowerModel] = None,
+) -> FaultRunResult:
+    """Replay ``spec`` with ``plan`` armed and verify durability.
+
+    The op stream is applied until it ends or the plan cuts power.  In
+    both cases the crash simulator then assesses the instant: the
+    battery must cover the dirty set and recovery must rebuild every
+    page.  A run without a cut is drained first (controlled shutdown),
+    so residual dirty pages don't depend on where the stream stopped.
+    """
+    if tracer is not None and not isinstance(tracer, RecordingTracer):
+        raise TypeError("run_faulted_workload requires a RecordingTracer")
+    bundle = build_faulted_run(spec, plan, tracer, power_model)
+    system = bundle.system
+    page_size = system.region.page_size
+    ops_applied = 0
+    cut: Optional[PowerCut] = None
+    try:
+        for wop in iter_workload_ops(bundle.spec, page_size):
+            apply_op(system, bundle.mapping, page_size, wop)
+            ops_applied += 1
+        if isinstance(system, Viyojit):
+            system.drain()
+    except PowerCut as exc:
+        cut = exc
+    crash = bundle.crash_sim.power_failure()
+    recovery = bundle.crash_sim.crash_and_recover()
+    flusher = system.flusher if isinstance(system, Viyojit) else None
+    return FaultRunResult(
+        spec=bundle.spec,
+        plan=bundle.plan,
+        ops_applied=ops_applied,
+        power_cut=cut,
+        crash=crash,
+        recovery=recovery,
+        injected_failures=bundle.injector.injected_failures,
+        injected_delays=bundle.injector.injected_delays,
+        battery_degradations=bundle.injector.battery_degradations,
+        flush_retries=flusher.retries if flusher is not None else 0,
+        final_budget=(
+            system.dirty_budget_pages if isinstance(system, Viyojit) else None
+        ),
+    )

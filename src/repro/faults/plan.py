@@ -1,0 +1,277 @@
+"""Fault plans: frozen, serialisable descriptions of injected adversity.
+
+A :class:`FaultPlan` is the single input the injector needs.  It is
+deliberately *data*, not callbacks: plans round-trip through JSON
+(:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict` /
+:func:`load_fault_plan`), so a failing exploration run can be reproduced
+from its report alone, and CI can keep plan files next to golden traces.
+
+File format (all keys optional except where noted)::
+
+    {
+      "seed": 42,
+      "ssd_rules": [
+        {"op": "write", "fail_prob": 0.02, "delay_prob": 0.05,
+         "delay_ns": 200000, "fail_every": 0,
+         "after_ns": 0, "before_ns": null}
+      ],
+      "battery_steps": [
+        {"at_ns": 2000000, "fraction": 0.5}
+      ],
+      "power_cut": {"at_ns": null, "on_event": "SyncEviction",
+                    "occurrence": 3}
+    }
+
+Probabilistic rules draw from one ``random.Random(seed)`` stream owned
+by the injector, in submission order — the same plan against the same
+workload injects the same faults, always.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Type, TypeVar
+
+from repro.obs.events import EVENT_TYPES_BY_NAME
+
+#: SSD operations a rule may match.
+FAULT_OPS = ("write", "read", "any")
+
+
+class FaultPlanError(ValueError):
+    """A fault-plan document or field failed validation."""
+
+
+@dataclass(frozen=True)
+class SSDFaultRule:
+    """One injection rule consulted on every matching SSD submission.
+
+    Parameters
+    ----------
+    op:
+        Which submissions the rule applies to: ``"write"``, ``"read"``,
+        or ``"any"``.
+    fail_prob:
+        Probability a matching submission is rejected with
+        :class:`repro.storage.ssd.SSDFaultError`.
+    delay_prob:
+        Probability a matching (non-failed) submission is delayed by
+        ``delay_ns`` of extra device latency.
+    delay_ns:
+        Extra latency applied when a delay fires.
+    fail_every:
+        Deterministic alternative to ``fail_prob``: reject every Nth
+        matching submission (0 disables).  Composable with the
+        probabilistic knobs; either may trigger the failure.
+    after_ns / before_ns:
+        Virtual-time window the rule is active in (``before_ns=None``
+        means forever).  Models transient device brown-outs.
+    """
+
+    op: str = "write"
+    fail_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_ns: int = 100_000
+    fail_every: int = 0
+    after_ns: int = 0
+    before_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in FAULT_OPS:
+            raise FaultPlanError(
+                f"rule op must be one of {FAULT_OPS}: {self.op!r}"
+            )
+        for name in ("fail_prob", "delay_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1]: {value}")
+        if self.delay_ns < 0:
+            raise FaultPlanError(f"delay_ns must be non-negative: {self.delay_ns}")
+        if self.fail_every < 0:
+            raise FaultPlanError(
+                f"fail_every must be non-negative: {self.fail_every}"
+            )
+        if self.after_ns < 0:
+            raise FaultPlanError(f"after_ns must be non-negative: {self.after_ns}")
+        if self.before_ns is not None and self.before_ns <= self.after_ns:
+            raise FaultPlanError(
+                f"before_ns ({self.before_ns}) must exceed after_ns "
+                f"({self.after_ns})"
+            )
+
+    def active_at(self, op: str, now_ns: int) -> bool:
+        """Does this rule apply to an ``op`` submission at ``now_ns``?"""
+        if self.op != "any" and self.op != op:
+            return False
+        if now_ns < self.after_ns:
+            return False
+        if self.before_ns is not None and now_ns >= self.before_ns:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class BatteryDegradationStep:
+    """Lose ``fraction`` of battery health at virtual instant ``at_ns``."""
+
+    at_ns: int
+    fraction: float
+
+    def __post_init__(self) -> None:
+        if self.at_ns < 0:
+            raise FaultPlanError(f"at_ns must be non-negative: {self.at_ns}")
+        if not 0.0 < self.fraction < 1.0:
+            raise FaultPlanError(
+                f"degradation fraction must be in (0, 1): {self.fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class PowerCutPoint:
+    """When to pull the plug: a virtual instant, or an event occurrence.
+
+    Exactly one of ``at_ns`` / ``on_event`` must be set.  ``on_event``
+    names a :mod:`repro.obs.events` type; the cut fires at the
+    ``occurrence``-th emission of that type (1-based).
+    """
+
+    at_ns: Optional[int] = None
+    on_event: Optional[str] = None
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.at_ns is None) == (self.on_event is None):
+            raise FaultPlanError(
+                "exactly one of at_ns / on_event must be set on a power cut"
+            )
+        if self.at_ns is not None and self.at_ns < 0:
+            raise FaultPlanError(f"at_ns must be non-negative: {self.at_ns}")
+        if self.on_event is not None and self.on_event not in EVENT_TYPES_BY_NAME:
+            raise FaultPlanError(
+                f"unknown trace event {self.on_event!r}; choose from "
+                f"{sorted(EVENT_TYPES_BY_NAME)}"
+            )
+        if self.occurrence < 1:
+            raise FaultPlanError(
+                f"occurrence is 1-based and must be >= 1: {self.occurrence}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that goes wrong in one run, as pure data."""
+
+    seed: int = 1
+    ssd_rules: Tuple[SSDFaultRule, ...] = field(default_factory=tuple)
+    battery_steps: Tuple[BatteryDegradationStep, ...] = field(default_factory=tuple)
+    power_cut: Optional[PowerCutPoint] = None
+
+    def __post_init__(self) -> None:
+        # Tolerate lists from hand-built plans / JSON, store tuples.
+        object.__setattr__(self, "ssd_rules", tuple(self.ssd_rules))
+        object.__setattr__(
+            self,
+            "battery_steps",
+            tuple(sorted(self.battery_steps, key=lambda s: s.at_ns)),
+        )
+
+    @property
+    def injects_ssd_faults(self) -> bool:
+        return any(
+            r.fail_prob > 0 or r.delay_prob > 0 or r.fail_every > 0
+            for r in self.ssd_rules
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seed": self.seed,
+            "ssd_rules": [
+                {
+                    "op": r.op,
+                    "fail_prob": r.fail_prob,
+                    "delay_prob": r.delay_prob,
+                    "delay_ns": r.delay_ns,
+                    "fail_every": r.fail_every,
+                    "after_ns": r.after_ns,
+                    "before_ns": r.before_ns,
+                }
+                for r in self.ssd_rules
+            ],
+            "battery_steps": [
+                {"at_ns": s.at_ns, "fraction": s.fraction}
+                for s in self.battery_steps
+            ],
+        }
+        if self.power_cut is not None:
+            out["power_cut"] = {
+                "at_ns": self.power_cut.at_ns,
+                "on_event": self.power_cut.on_event,
+                "occurrence": self.power_cut.occurrence,
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError(f"fault plan must be an object: {data!r}")
+        known = {"seed", "ssd_rules", "battery_steps", "power_cut"}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault-plan keys {sorted(unknown)}; expected "
+                f"subset of {sorted(known)}"
+            )
+        rules: List[SSDFaultRule] = []
+        for entry in _expect_list(data, "ssd_rules"):
+            rules.append(_build(SSDFaultRule, entry, "ssd_rules"))
+        steps: List[BatteryDegradationStep] = []
+        for entry in _expect_list(data, "battery_steps"):
+            steps.append(_build(BatteryDegradationStep, entry, "battery_steps"))
+        cut_data = data.get("power_cut")
+        cut: Optional[PowerCutPoint] = None
+        if cut_data is not None:
+            cut = _build(PowerCutPoint, cut_data, "power_cut")
+        seed = data.get("seed", 1)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise FaultPlanError(f"seed must be an int: {seed!r}")
+        return cls(
+            seed=seed,
+            ssd_rules=tuple(rules),
+            battery_steps=tuple(steps),
+            power_cut=cut,
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _expect_list(data: Dict[str, object], key: str) -> List[object]:
+    value = data.get(key, [])
+    if not isinstance(value, list):
+        raise FaultPlanError(f"{key} must be a list: {value!r}")
+    return value
+
+
+_T = TypeVar("_T")
+
+
+def _build(cls: Type[_T], entry: object, where: str) -> _T:
+    if not isinstance(entry, dict):
+        raise FaultPlanError(f"each {where} entry must be an object: {entry!r}")
+    try:
+        return cls(**entry)
+    except TypeError as exc:
+        raise FaultPlanError(f"bad {where} entry {entry!r}: {exc}") from exc
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Parse a fault-plan JSON file; raises :class:`FaultPlanError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise FaultPlanError(f"cannot read fault plan {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(f"fault plan {path!r} is not valid JSON: {exc}") from exc
+    return FaultPlan.from_dict(data)

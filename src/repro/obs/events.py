@@ -32,6 +32,12 @@ event               emitted by / meaning
                          the earliest IO completed.
 :class:`FlushComplete`   flusher — a page write-out was acknowledged; the
                          page left the dirty set.
+:class:`SSDFault`        fault injector — an injected SSD failure or
+                         latency spike hit a submission
+                         (:mod:`repro.faults`).
+:class:`BatteryDegraded` fault injector — the battery lost capacity
+                         mid-run and the runtime retuned its dirty
+                         budget (section 8).
 ==================  =====================================================
 """
 
@@ -134,6 +140,35 @@ class FlushComplete(TraceEvent):
     latency_ns: int
 
 
+@dataclass(frozen=True)
+class SSDFault(TraceEvent):
+    """The fault injector perturbed one SSD submission.
+
+    ``op`` is ``"write"`` or ``"read"``; ``kind`` is ``"fail"`` (the
+    submission raised :class:`repro.storage.ssd.SSDFaultError`) or
+    ``"delay"`` (``delay_ns`` of extra device latency was added).
+    """
+
+    op: str
+    kind: str
+    size_bytes: int
+    delay_ns: int
+
+
+@dataclass(frozen=True)
+class BatteryDegraded(TraceEvent):
+    """The battery lost ``fraction`` of its health at ``t``.
+
+    ``health`` is the post-degradation health factor and ``budget`` the
+    dirty budget in force after the runtime's graceful shrink (0 when the
+    attached system does not retune).
+    """
+
+    fraction: float
+    health: float
+    budget: int
+
+
 EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     WriteFault,
     SyncEviction,
@@ -143,6 +178,8 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     SSDWrite,
     BudgetWait,
     FlushComplete,
+    SSDFault,
+    BatteryDegraded,
 )
 
 EVENT_TYPES_BY_NAME: Dict[str, Type[TraceEvent]] = {

@@ -33,6 +33,12 @@ EVENT_CSV_COLUMNS: Sequence[str] = (
     "completion_ns",
     "wait_ns",
     "latency_ns",
+    "op",
+    "kind",
+    "delay_ns",
+    "fraction",
+    "health",
+    "budget",
 )
 
 TIMELINE_CSV_COLUMNS: Sequence[str] = (

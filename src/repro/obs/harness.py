@@ -11,12 +11,13 @@ the same :class:`TraceWorkload` produce byte-identical trace dumps.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.core.config import ViyojitConfig
 from repro.core.runtime import (
     FullBatteryNVDRAM,
     HardwareViyojit,
+    Mapping,
     NVDRAMSystem,
     Viyojit,
 )
@@ -93,6 +94,69 @@ def _payload(op: int, page: int, value_bytes: int) -> bytes:
     return (stamp * repeats)[:value_bytes]
 
 
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One operation of the deterministic op stream.
+
+    ``payload`` is the bytes to write for a ``"write"`` op, and the
+    expected read-back bytes (the durability oracle) for a ``"read"`` op.
+    """
+
+    kind: str  # "write" | "read"
+    op: int
+    page: int
+    offset: int
+    payload: bytes
+
+
+def iter_workload_ops(
+    spec: TraceWorkload, page_size: int
+) -> Iterator[WorkloadOp]:
+    """The op stream of ``spec`` as a pure function of the spec.
+
+    Shared by :func:`run_traced_workload` and the fault-injection /
+    crash-point harnesses (:mod:`repro.faults`): every consumer replays
+    the exact same zipfian write/read mix, so a crash instant observed in
+    one run can be reproduced in another.
+    """
+    zipf = ZipfianGenerator(spec.hot_pages, theta=spec.theta, seed=spec.seed)
+    # page -> (offset, payload) of its latest write, the read-back oracle.
+    written: Dict[int, Tuple[int, bytes]] = {}
+    for op in range(spec.ops):
+        page = zipf.next()
+        if written and (op + 1) % spec.read_every == 0:
+            # Deterministic re-read of an earlier write: same zipf page
+            # if seen, else the most recently written page.
+            target = page if page in written else next(reversed(written))
+            offset, expect = written[target]
+            yield WorkloadOp("read", op, target, offset, expect)
+            continue
+        payload = _payload(op, page, spec.value_bytes)
+        offset = (op * 131) % (page_size - spec.value_bytes)
+        written[page] = (offset, payload)
+        yield WorkloadOp("write", op, page, offset, payload)
+
+
+def apply_op(
+    system: NVDRAMSystem, mapping: Mapping, page_size: int, wop: WorkloadOp
+) -> None:
+    """Apply one :class:`WorkloadOp` to a started system.
+
+    Read ops verify the oracle and raise ``AssertionError`` on mismatch —
+    in-memory contents surviving the budget machinery is part of what the
+    trace harness checks.
+    """
+    addr = mapping.addr(wop.page * page_size + wop.offset)
+    if wop.kind == "read":
+        data = system.read(addr, len(wop.payload))
+        if data != wop.payload:
+            raise AssertionError(
+                f"read-back mismatch on page {wop.page} at op {wop.op}"
+            )
+    else:
+        system.write(addr, wop.payload)
+
+
 def run_traced_workload(
     spec: TraceWorkload, tracer: Optional[RecordingTracer] = None
 ) -> Dict[str, object]:
@@ -111,26 +175,8 @@ def run_traced_workload(
     page_size = system.region.page_size
     mapping = system.mmap(spec.hot_pages * page_size)
 
-    zipf = ZipfianGenerator(spec.hot_pages, theta=spec.theta, seed=spec.seed)
-    # page -> (offset, payload) of its latest write, the read-back oracle.
-    written: Dict[int, tuple] = {}
-    for op in range(spec.ops):
-        page = zipf.next()
-        if written and (op + 1) % spec.read_every == 0:
-            # Deterministic re-read of an earlier write: same zipf page
-            # if seen, else the most recently written page.
-            target = page if page in written else next(reversed(written))
-            offset, expect = written[target]
-            data = system.read(mapping.addr(target * page_size + offset), len(expect))
-            if data != expect:
-                raise AssertionError(
-                    f"read-back mismatch on page {target} at op {op}"
-                )
-            continue
-        payload = _payload(op, page, spec.value_bytes)
-        offset = (op * 131) % (page_size - spec.value_bytes)
-        system.write(mapping.addr(page * page_size + offset), payload)
-        written[page] = (offset, payload)
+    for wop in iter_workload_ops(spec, page_size):
+        apply_op(system, mapping, page_size, wop)
 
     drain = getattr(system, "drain", None)
     if drain is not None:

@@ -71,6 +71,18 @@ class Battery:
             raise ValueError(f"fraction must be in [0, 1): {fraction}")
         self.health *= 1.0 - fraction
 
+    def set_health(self, health: float) -> None:
+        """Set the aging factor absolutely (telemetry-driven recalibration).
+
+        Unlike the relative :meth:`degrade`, this pins health to a measured
+        value — it may *raise* health (battery replacement / cool ambient).
+        Zero stays invalid: a dead battery is a removal, not a derating,
+        and the budget arithmetic divides by usable energy.
+        """
+        if not 0 < health <= 1:
+            raise ValueError(f"health must be in (0, 1]: {health}")
+        self.health = float(health)
+
     def volume_cm3(self, consumer_density_j_per_cm3: float = SMARTPHONE_ENERGY_DENSITY_J_PER_CM3) -> float:
         """Physical volume of the installed cells.
 

@@ -29,11 +29,34 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.obs.events import SSDWrite
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.clock import NS_PER_SEC
+
+
+class SSDFaultError(IOError):
+    """An injected device failure rejected one submission.
+
+    Raised out of :meth:`SSD.submit_write` / :meth:`SSD.submit_read` when
+    a fault hook (see :mod:`repro.faults`) decides the submission fails.
+    The submission consumes no service slot and is not counted in
+    :class:`SSDStats`; callers (the flusher) retry with backoff.
+    """
+
+    def __init__(self, op: str, now_ns: int, size_bytes: int) -> None:
+        super().__init__(
+            f"injected SSD {op} failure at t={now_ns} ({size_bytes} bytes)"
+        )
+        self.op = op
+        self.now_ns = now_ns
+        self.size_bytes = size_bytes
+
+
+#: Fault-injection hook signature: ``(op, now_ns, size_bytes)`` returns
+#: extra device latency in ns (usually 0) or raises :class:`SSDFaultError`.
+SSDFaultHook = Callable[[str, int, int], int]
 
 
 @dataclass
@@ -57,6 +80,11 @@ class SSD:
 
     #: Observability hook; the runtime swaps in a recording tracer.
     tracer: Tracer = NULL_TRACER
+
+    #: Fault-injection hook (:mod:`repro.faults`); consulted before a
+    #: submission is accepted.  May raise :class:`SSDFaultError` to fail
+    #: the submission or return extra latency ns to delay it.
+    fault_hook: Optional[SSDFaultHook] = None
 
     def __init__(
         self,
@@ -97,13 +125,21 @@ class SSD:
         return start, finish
 
     def submit_write(self, now_ns: int, size_bytes: int) -> int:
-        """Submit a write at ``now_ns``; returns its completion time."""
+        """Submit a write at ``now_ns``; returns its completion time.
+
+        Raises :class:`SSDFaultError` when an armed fault hook rejects
+        the submission; a rejected write consumes no slot and leaves the
+        device counters untouched.
+        """
         if size_bytes <= 0:
             raise ValueError(f"size must be positive: {size_bytes}")
+        extra_ns = 0
+        if self.fault_hook is not None:
+            extra_ns = self.fault_hook("write", now_ns, size_bytes)
         self.stats.writes += 1
         self.stats.bytes_written += size_bytes
         start, finish = self._service(
-            now_ns, self.write_latency_ns, size_bytes, self.write_bandwidth
+            now_ns, self.write_latency_ns + extra_ns, size_bytes, self.write_bandwidth
         )
         if self.tracer.enabled:
             self.tracer.emit(
@@ -117,13 +153,19 @@ class SSD:
         return finish
 
     def submit_read(self, now_ns: int, size_bytes: int) -> int:
-        """Submit a read at ``now_ns``; returns its completion time."""
+        """Submit a read at ``now_ns``; returns its completion time.
+
+        Subject to the same fault hook as :meth:`submit_write`.
+        """
         if size_bytes <= 0:
             raise ValueError(f"size must be positive: {size_bytes}")
+        extra_ns = 0
+        if self.fault_hook is not None:
+            extra_ns = self.fault_hook("read", now_ns, size_bytes)
         self.stats.reads += 1
         self.stats.bytes_read += size_bytes
         _start, finish = self._service(
-            now_ns, self.read_latency_ns, size_bytes, self.read_bandwidth
+            now_ns, self.read_latency_ns + extra_ns, size_bytes, self.read_bandwidth
         )
         return finish
 

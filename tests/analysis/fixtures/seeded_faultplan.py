@@ -1,0 +1,37 @@
+"""Fixture: the fault-injection idiom passes every rule unmodified.
+
+Mirrors how ``repro.faults`` draws fault decisions — a ``random.Random``
+instance seeded from the plan, virtual-clock timestamps, and guarded
+event construction — to pin that the D1 seeded-RNG allowance covers the
+subsystem without any suppression comments.
+"""
+import random
+
+from repro.obs.events import SSDFault
+
+
+class MiniPlan:
+    def __init__(self, seed):
+        self.seed = seed
+
+
+class MiniInjector:
+    """Seeded RNG per plan: reproducible fault streams, D1-clean."""
+
+    def __init__(self, plan, sim):
+        self.plan = plan
+        self.sim = sim
+        self.rng = random.Random(plan.seed)
+
+    def should_fail(self, prob):
+        return self.rng.random() < prob
+
+    def emit_fault(self, tracer, size_bytes):
+        now_ns = self.sim.clock.now
+        if tracer.enabled:
+            tracer.emit(
+                SSDFault(
+                    t=now_ns, op="write", kind="fail",
+                    size_bytes=size_bytes, delay_ns=0,
+                )
+            )

@@ -134,3 +134,8 @@ class TestSuppression:
 
     def test_clean_fixture_is_clean(self):
         assert findings("clean.py") == []
+
+    def test_fault_injection_idiom_is_clean(self):
+        # The faults subsystem's plan-seeded RNG, virtual-clock reads,
+        # and guarded SSDFault construction need zero suppressions.
+        assert findings("seeded_faultplan.py") == []

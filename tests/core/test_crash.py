@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.crash import (
     CrashSimulator,
+    SupportsRecovery,
     full_backup_battery,
     viyojit_battery,
 )
@@ -112,6 +113,59 @@ class TestRecovery:
         report = crash.power_failure()
         assert report.survives
         assert report.dirty_pages == 128
+
+
+class TestSupportsRecoveryProtocol:
+    """CrashSimulator demands an explicit capability contract, not luck."""
+
+    def test_viyojit_satisfies_protocol(self, sim):
+        system = make_viyojit(sim)
+        assert isinstance(system, SupportsRecovery)
+
+    def test_baseline_opts_out_via_flag(self, sim):
+        # The baseline has no backing store to recover from; it declares
+        # `assumes_full_battery` instead of satisfying the protocol.
+        system = make_baseline(sim)
+        assert not isinstance(system, SupportsRecovery)
+        assert system.assumes_full_battery is True
+        model = PowerModel()
+        CrashSimulator(system, model, full_backup_battery(model, 256 * PAGE))
+
+    def test_unknown_system_is_rejected_loudly(self, sim):
+        class Imposter:
+            """Has pages but neither a backing store nor the opt-out."""
+
+            def __init__(self):
+                real = make_viyojit(sim)
+                self.region = real.region
+                self.config = real.config
+
+            def dirty_pages(self):
+                return set()
+
+        model = PowerModel()
+        battery = full_backup_battery(model, 4 * PAGE)
+        with pytest.raises(TypeError) as excinfo:
+            CrashSimulator(Imposter(), model, battery)
+        assert "Imposter" in str(excinfo.value)
+
+    def test_flag_must_be_literal_true(self, sim):
+        # A truthy-but-not-True flag (e.g. a leftover string) must not
+        # silently grant the full-battery exemption.
+        class Sloppy:
+            assumes_full_battery = "yes"
+
+            def __init__(self):
+                real = make_viyojit(sim)
+                self.region = real.region
+                self.config = real.config
+
+            def dirty_pages(self):
+                return set()
+
+        model = PowerModel()
+        with pytest.raises(TypeError):
+            CrashSimulator(Sloppy(), model, full_backup_battery(model, PAGE))
 
 
 class TestBatteryEconomics:

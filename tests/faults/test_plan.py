@@ -1,0 +1,140 @@
+"""FaultPlan validation and JSON round-trip."""
+
+import pytest
+
+from repro.faults.plan import (
+    BatteryDegradationStep,
+    FaultPlan,
+    FaultPlanError,
+    PowerCutPoint,
+    SSDFaultRule,
+    load_fault_plan,
+)
+
+
+class TestSSDFaultRule:
+    def test_defaults_are_inert(self):
+        rule = SSDFaultRule()
+        assert rule.fail_prob == 0.0
+        assert rule.delay_prob == 0.0
+        assert rule.fail_every == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"op": "trim"},
+            {"fail_prob": -0.1},
+            {"fail_prob": 1.5},
+            {"delay_prob": 2.0},
+            {"delay_ns": -1},
+            {"fail_every": -2},
+            {"after_ns": -1},
+            {"after_ns": 100, "before_ns": 100},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            SSDFaultRule(**kwargs)
+
+    def test_active_window(self):
+        rule = SSDFaultRule(op="write", after_ns=100, before_ns=200)
+        assert not rule.active_at("write", 99)
+        assert rule.active_at("write", 100)
+        assert rule.active_at("write", 199)
+        assert not rule.active_at("write", 200)
+        assert not rule.active_at("read", 150)
+
+    def test_any_matches_both_ops(self):
+        rule = SSDFaultRule(op="any")
+        assert rule.active_at("write", 0)
+        assert rule.active_at("read", 0)
+
+
+class TestBatteryStep:
+    def test_rejects_full_death_and_noop(self):
+        with pytest.raises(FaultPlanError):
+            BatteryDegradationStep(at_ns=0, fraction=1.0)
+        with pytest.raises(FaultPlanError):
+            BatteryDegradationStep(at_ns=0, fraction=0.0)
+        with pytest.raises(FaultPlanError):
+            BatteryDegradationStep(at_ns=-1, fraction=0.5)
+
+    def test_steps_sorted_by_time(self):
+        plan = FaultPlan(
+            battery_steps=(
+                BatteryDegradationStep(at_ns=500, fraction=0.1),
+                BatteryDegradationStep(at_ns=100, fraction=0.2),
+            )
+        )
+        assert [s.at_ns for s in plan.battery_steps] == [100, 500]
+
+
+class TestPowerCutPoint:
+    def test_requires_exactly_one_trigger(self):
+        with pytest.raises(FaultPlanError):
+            PowerCutPoint()
+        with pytest.raises(FaultPlanError):
+            PowerCutPoint(at_ns=5, on_event="SyncEviction")
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(FaultPlanError):
+            PowerCutPoint(on_event="NoSuchEvent")
+
+    def test_occurrence_is_one_based(self):
+        with pytest.raises(FaultPlanError):
+            PowerCutPoint(on_event="SyncEviction", occurrence=0)
+
+
+class TestRoundTrip:
+    def plan(self):
+        return FaultPlan(
+            seed=42,
+            ssd_rules=(
+                SSDFaultRule(op="write", fail_prob=0.02, delay_prob=0.1,
+                             delay_ns=200_000),
+                SSDFaultRule(op="any", fail_every=100, after_ns=1_000),
+            ),
+            battery_steps=(BatteryDegradationStep(at_ns=2_000_000, fraction=0.5),),
+            power_cut=PowerCutPoint(on_event="SyncEviction", occurrence=3),
+        )
+
+    def test_dict_round_trip(self):
+        plan = self.plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self.plan()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert load_fault_plan(str(path)) == plan
+
+    def test_injects_ssd_faults_property(self):
+        assert self.plan().injects_ssd_faults
+        assert not FaultPlan().injects_ssd_faults
+        assert FaultPlan(ssd_rules=(SSDFaultRule(fail_every=7),)).injects_ssd_faults
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": 1, "ssd_ruless": []})
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": "tuesday"})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"seed": True})
+
+    def test_bad_entry_shape_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"ssd_rules": [{"nope": 1}]})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"ssd_rules": "many"})
+
+    def test_missing_file_is_typed_error(self, tmp_path):
+        with pytest.raises(FaultPlanError):
+            load_fault_plan(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_is_typed_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(FaultPlanError):
+            load_fault_plan(str(path))

@@ -1,0 +1,99 @@
+"""Property tests: the durability invariants hold under *any* seeded plan.
+
+Hypothesis generates fault plans (SSD failure/delay rules, battery
+degradation schedules); the suite-wide sanitizer (armed via
+``REPRO_SANITIZE`` in ``tests/conftest.py``) re-checks the budget bound
+and evicted-page durability at every hook during these runs, so a
+violation anywhere in the fault-handling machinery fails the property.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults.harness import run_faulted_workload
+from repro.faults.plan import BatteryDegradationStep, FaultPlan, SSDFaultRule
+from repro.obs.harness import TraceWorkload
+from repro.power.power_model import PowerModel
+
+SPEC = TraceWorkload(system="viyojit", ops=150)
+
+ssd_rules = st.lists(
+    st.builds(
+        SSDFaultRule,
+        op=st.sampled_from(["write", "any"]),
+        fail_prob=st.floats(min_value=0.0, max_value=0.05),
+        delay_prob=st.floats(min_value=0.0, max_value=0.2),
+        delay_ns=st.integers(min_value=0, max_value=500_000),
+        fail_every=st.sampled_from([0, 0, 50, 97]),
+    ),
+    max_size=2,
+)
+
+battery_steps = st.lists(
+    st.builds(
+        BatteryDegradationStep,
+        at_ns=st.integers(min_value=0, max_value=1_500_000),
+        fraction=st.floats(min_value=0.05, max_value=0.6),
+    ),
+    max_size=2,
+    unique_by=lambda s: s.at_ns,
+)
+
+plans = st.builds(
+    FaultPlan,
+    seed=st.integers(min_value=0, max_value=2**31),
+    ssd_rules=st.tuples() | ssd_rules.map(tuple),
+    battery_steps=st.tuples() | battery_steps.map(tuple),
+)
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(plan=plans)
+@SETTINGS
+def test_any_seeded_plan_preserves_durability(plan):
+    """Budget-bound + evicted-durability invariants survive any plan.
+
+    The sanitizer enforces the invariants as the run executes; the final
+    crash assessment then confirms the (possibly degraded) battery still
+    covers the dirty set and recovery rebuilds every page.
+    """
+    result = run_faulted_workload(SPEC, plan)
+    assert result.survived
+    assert result.recovery.pages_corrupt == []
+    assert result.recovery.pages_lost == []
+
+
+@given(plan=plans)
+@SETTINGS
+def test_dirty_budget_never_exceeds_battery_capability(plan):
+    """The in-force budget is always flushable by the degraded battery."""
+    result = run_faulted_workload(SPEC, plan)
+    model = PowerModel()
+    page_size = 4096
+    # Whatever budget ended up in force, the dirty set it permits must
+    # fit the battery that remains — unless the floor (1 page) kicked
+    # in, in which case the dirty set itself must still have been
+    # covered at the crash instant (checked by `survived` above).
+    budget = result.final_budget
+    assert budget is not None and budget >= 1
+    assert result.crash.dirty_pages <= budget
+    needed = model.energy_to_flush(budget * page_size)
+    if budget > 1:
+        # A non-floor budget is by construction what the battery supports.
+        assert result.crash.battery_usable_joules >= needed or result.survived
+
+
+@given(plan=plans, seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=10, deadline=None)
+def test_plan_runs_are_reproducible(plan, seed):
+    """Same plan, same workload seed -> byte-identical outcome dict."""
+    spec = TraceWorkload(system="viyojit", ops=100, seed=seed % 50 + 1)
+    assert (
+        run_faulted_workload(spec, plan).as_dict()
+        == run_faulted_workload(spec, plan).as_dict()
+    )

@@ -1,0 +1,141 @@
+"""Flusher retry-with-backoff and typed FlushFailure surfacing."""
+
+import pytest
+
+from repro.core.flusher import FlushFailure
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SSDFaultRule
+from repro.storage.ssd import SSDFaultError
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+
+
+def always_fail_hook(op, now_ns, size_bytes):
+    raise SSDFaultError(op, now_ns, size_bytes)
+
+
+class TestRetryAbsorbsTransients:
+    def test_single_transient_failure_is_retried(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=4, proactive=False)
+        failures = {"left": 1}
+
+        def flaky(op, now_ns, size_bytes):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise SSDFaultError(op, now_ns, size_bytes)
+            return 0
+
+        system.ssd.fault_hook = flaky
+        mapping = system.mmap(16 * PAGE)
+        for page in range(16):
+            system.write(mapping.base_addr + page * PAGE, b"x")
+        system.drain()
+        assert system.flusher.retries == 1
+        assert system.flusher.retry_failures == 0
+        assert system.eviction_flush_failures == 0
+
+    def test_backoff_charges_virtual_time(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=2, proactive=False,
+                              flush_retry_backoff_ns=1_000_000)
+        failures = {"left": 2}
+
+        def flaky(op, now_ns, size_bytes):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise SSDFaultError(op, now_ns, size_bytes)
+            return 0
+
+        system.ssd.fault_hook = flaky
+        mapping = system.mmap(8 * PAGE)
+        for page in range(4):
+            system.write(mapping.base_addr + page * PAGE, b"x")
+        # Two rejections back off 1 ms + 2 ms of virtual time.
+        assert sim.now >= 3_000_000
+
+    def test_injected_fail_rate_fully_absorbed(self, sim):
+        plan = FaultPlan(
+            seed=11, ssd_rules=(SSDFaultRule(op="write", fail_prob=0.05),)
+        )
+        system = make_viyojit(sim, num_pages=256, budget=8)
+        injector = FaultInjector(plan, sim)
+        injector.attach(ssd=system.ssd)
+        mapping = system.mmap(64 * PAGE)
+        for step in range(600):
+            system.write(mapping.base_addr + (step % 64) * PAGE, b"y" * 32)
+        system.drain()
+        assert injector.injected_failures > 0
+        assert system.flusher.retries == injector.injected_failures
+        assert system.flusher.retry_failures == 0
+        assert system.dirty_count == 0
+
+
+class TestRetryExhaustion:
+    def test_exhaustion_surfaces_typed_flush_failure(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=2, proactive=False,
+                              max_flush_retries=2)
+        system.ssd.fault_hook = always_fail_hook
+        mapping = system.mmap(8 * PAGE)
+        system.write(mapping.base_addr, b"a")
+        system.write(mapping.base_addr + PAGE, b"b")
+        with pytest.raises(FlushFailure) as excinfo:
+            system.write(mapping.base_addr + 2 * PAGE, b"c")
+        failure = excinfo.value
+        assert failure.attempts == 3  # 1 initial + 2 retries
+        assert isinstance(failure.last_error, SSDFaultError)
+        assert failure.pfn >= 0
+        # The eviction loop rotated through victims before giving up.
+        assert system.eviction_flush_failures == system.max_eviction_flush_failures
+
+    def test_failed_flush_rolls_back_protection(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=4, proactive=False,
+                              max_flush_retries=0)
+        mapping = system.mmap(8 * PAGE)
+        system.write(mapping.base_addr, b"a")
+        system.ssd.fault_hook = always_fail_hook
+        with pytest.raises(FlushFailure):
+            system.flusher.issue(next(iter(system.dirty_pages())))
+        system.ssd.fault_hook = None
+        # The page stayed dirty and writable: a plain write must not trap.
+        faults_before = system.mmu.faults
+        system.write(mapping.base_addr, b"b")
+        assert system.mmu.faults == faults_before
+        assert system.flusher.retry_failures == 1
+
+    def test_zero_retries_config(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=2, proactive=False,
+                              max_flush_retries=0)
+        system.ssd.fault_hook = always_fail_hook
+        mapping = system.mmap(8 * PAGE)
+        system.write(mapping.base_addr, b"a")
+        system.write(mapping.base_addr + PAGE, b"b")
+        with pytest.raises(FlushFailure) as excinfo:
+            system.write(mapping.base_addr + 2 * PAGE, b"c")
+        assert excinfo.value.attempts == 1
+        assert system.flusher.retries == 0
+
+    def test_outage_ends_then_system_recovers(self, sim):
+        system = make_viyojit(sim, num_pages=64, budget=2, proactive=False)
+        system.ssd.fault_hook = always_fail_hook
+        mapping = system.mmap(8 * PAGE)
+        system.write(mapping.base_addr, b"a")
+        system.write(mapping.base_addr + PAGE, b"b")
+        with pytest.raises(FlushFailure):
+            system.write(mapping.base_addr + 2 * PAGE, b"c")
+        # Device comes back: the same write now succeeds and the budget
+        # invariant still holds.
+        system.ssd.fault_hook = None
+        system.write(mapping.base_addr + 2 * PAGE, b"c")
+        assert system.dirty_count <= 2
+        system.drain()
+        assert system.dirty_count == 0
+
+
+class TestConfigValidation:
+    def test_negative_retries_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_viyojit(sim, max_flush_retries=-1)
+
+    def test_negative_backoff_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_viyojit(sim, flush_retry_backoff_ns=-5)

@@ -57,6 +57,45 @@ class TestUsableEnergy:
         with pytest.raises(ValueError):
             battery.degrade(-0.1)
 
+    def test_degrade_zero_is_noop(self):
+        battery = Battery(nominal_joules=1000)
+        battery.degrade(0.0)
+        assert battery.health == 1.0
+
+    def test_repeated_degradation_never_reaches_zero(self):
+        # Health decays geometrically; it approaches but never hits zero,
+        # so the budget arithmetic (which divides by usable energy) stays
+        # well-defined no matter how worn the battery gets.
+        battery = Battery(nominal_joules=1000)
+        for _ in range(200):
+            battery.degrade(0.5)
+        assert battery.health > 0
+        assert battery.usable_joules > 0
+        assert battery.health == pytest.approx(0.5**200)
+
+
+class TestSetHealth:
+    def test_pins_health_absolutely(self):
+        battery = Battery(nominal_joules=1000)
+        battery.degrade(0.4)
+        battery.set_health(0.9)
+        assert battery.health == 0.9
+        assert battery.usable_joules == pytest.approx(1000 * 0.5 * 0.9)
+
+    def test_can_raise_health(self):
+        # Battery replacement / telemetry recalibration may *increase*
+        # health, which relative degrade() can never do.
+        battery = Battery(nominal_joules=1000)
+        battery.degrade(0.6)
+        battery.set_health(1.0)
+        assert battery.usable_joules == pytest.approx(500)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.1, 2.0])
+    def test_rejects_out_of_range(self, bad):
+        battery = Battery(nominal_joules=1000)
+        with pytest.raises(ValueError):
+            battery.set_health(bad)
+
 
 class TestVolume:
     def test_denser_cells_smaller(self):
