@@ -15,6 +15,9 @@ Usage::
     python -m repro crashfind --trace zipfian --crash-points all
                                               # exhaustive crash-point exploration
     python -m repro lint [paths...]           # project-specific static analysis
+    python -m repro perf [--quick] [--out BENCH.json]
+                         [--against BASELINE --max-regression 2.0]
+                                              # simulator wall-clock benchmarks
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
 asserts on, so the CLI and the test suite cannot drift apart.
@@ -66,6 +69,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "trace", "regenerates": "Structured event trace + epoch timeline"},
         {"command": "crashfind", "regenerates": "Crash-point exploration (durability at every boundary)"},
         {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
+        {"command": "perf", "regenerates": "Simulator wall-clock benchmarks (BENCH.json)"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
     return 0
@@ -394,6 +398,52 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.perf import compare_reports, run_suite
+    from repro.perf.report import dumps
+
+    report = run_suite(quick=args.quick, repeats=args.repeats)
+    wall = report["wall"]
+    rows = []
+    for name, fields in wall["micro"].items():
+        rows.append(
+            {
+                "benchmark": name,
+                "wall_s": f"{fields['wall_s']:.4f}",
+                "rate": f"{fields['per_sec']:,.0f} {fields['unit']}/s",
+            }
+        )
+    for name, fields in wall["macro"].items():
+        rows.append(
+            {
+                "benchmark": f"ycsb-a/{name}",
+                "wall_s": f"{fields['wall_s']:.4f}",
+                "rate": f"{fields['ops_per_sec']:,.0f} ops/s",
+            }
+        )
+    mode = report["mode"]
+    print(format_table(rows, title=f"Simulator wall-clock benchmarks ({mode})"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dumps(report))
+        print(f"wrote {args.out}")
+    if args.against:
+        import json as json_mod
+
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json_mod.load(handle)
+        failures = compare_reports(report, baseline, args.max_regression)
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(
+            f"no wall-clock regression vs {args.against} "
+            f"(limit {args.max_regression:.2f}x)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -527,6 +577,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     lint.set_defaults(func=cmd_lint)
+
+    perf = sub.add_parser(
+        "perf",
+        help="micro + macro wall-clock benchmarks of the simulator itself; "
+        "emits the schema-versioned BENCH.json",
+    )
+    perf.add_argument("--quick", action="store_true",
+                      help="reduced op counts (the CI smoke configuration)")
+    perf.add_argument("--repeats", type=int, default=0,
+                      help="timed passes per benchmark, best-of-N "
+                      "(default 3)")
+    perf.add_argument("--out", type=str, default=None,
+                      help="write BENCH.json to this path")
+    perf.add_argument("--against", type=str, default=None,
+                      help="baseline BENCH.json to compare wall times with")
+    perf.add_argument("--max-regression", type=float, default=2.0,
+                      help="fail (exit 1) when any benchmark's wall time "
+                      "exceeds this multiple of the baseline (default 2.0)")
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.core.dirty_tracker import DirtyTracker
 from repro.core.stats import ViyojitStats
 from repro.mem.mmu import MMU
@@ -104,6 +106,9 @@ class Flusher:
         self.retries = 0        # submissions re-attempted after a fault
         self.retry_failures = 0  # FlushFailures surfaced (retry exhaustion)
         self._inflight: Dict[int, int] = {}  # pfn -> completion time (ns)
+        # Boolean mirror of ``_inflight`` membership, so the victim-queue
+        # rebuild can mask candidates without a per-page Python call.
+        self.inflight_mask = np.zeros(region.num_pages, dtype=bool)
         self.tracer = tracer
         self._flush_latency = (
             tracer.metrics.histogram("flush_latency_ns") if tracer.enabled else None
@@ -169,6 +174,7 @@ class Flusher:
         completion, backoff_ns = self._submit_with_retry(pfn, issued_at, physical)
         cost += backoff_ns
         self._inflight[pfn] = completion
+        self.inflight_mask[pfn] = True
         self.stats.pages_flushed += 1
         self.stats.bytes_flushed += nbytes
 
@@ -176,6 +182,7 @@ class Flusher:
             self.backing.persist(pfn, data, version)
             self.tracker.remove(pfn)
             del self._inflight[pfn]
+            self.inflight_mask[pfn] = False
             self.stats.flush_completions += 1
             if self.tracer.enabled:
                 latency = completion - issued_at

@@ -10,11 +10,22 @@ write-only analogue of LRU.  Pages are ordered by the epoch of their most
 recent observed update (older first); ties break toward pages updated in
 fewer of the remembered epochs (lower popcount), i.e. less write-popular
 pages go first.
+
+A page whose most recent update has scrolled *out* of the remembered
+window is indistinguishable from a never-updated page as far as the
+hardware history goes, and the ranking treats it exactly so: ranking by
+raw absolute epochs would let an update from hundreds of epochs ago
+outrank a genuinely-never-updated page forever, inverting coldness among
+long-idle pages.
+
+The per-page update *count* over the window is maintained incrementally
+(one vectorized add/subtract per scan) rather than recomputed by popcount
+at every ranking — victim ranking is on the epoch hot path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Union
 
 import numpy as np
 
@@ -40,11 +51,14 @@ class UpdateHistory:
         self._history = np.zeros(self.num_pages, dtype=np.uint64)
         # Epoch of the most recent observed update; -1 = never observed.
         self._last_update = np.full(self.num_pages, -1, dtype=np.int64)
+        # Incrementally-maintained per-page popcount of ``_history``.
+        self._counts = np.zeros(self.num_pages, dtype=np.int64)
         self._mask = (
             np.uint64(0xFFFF_FFFF_FFFF_FFFF)
             if history_epochs == 64
             else np.uint64((1 << history_epochs) - 1)
         )
+        self._oldest_bit = np.uint64(history_epochs - 1)
         self.epoch = 0
 
     def record_scan(self, updated_pfns: np.ndarray) -> None:
@@ -54,10 +68,19 @@ class UpdateHistory:
         epoch that just ended (the output of
         :meth:`repro.mem.PageTable.scan_and_clear_dirty`).
         """
+        # The window's oldest bit falls off the edge on this shift; keep
+        # the per-page popcount in sync without re-counting every word.
+        dropped = (self._history >> self._oldest_bit) & _UINT64_ONE
+        np.subtract(
+            self._counts, dropped.astype(np.int64), out=self._counts
+        )
         self._history = (self._history << _UINT64_ONE) & self._mask
         if len(updated_pfns):
             self._history[updated_pfns] |= _UINT64_ONE
             self._last_update[updated_pfns] = self.epoch
+            # Bit 0 is always clear right after the shift, so every
+            # updated page gains exactly one set bit.
+            self._counts[updated_pfns] += 1
         self.epoch += 1
 
     def last_update_epoch(self, pfn: int) -> int:
@@ -66,29 +89,46 @@ class UpdateHistory:
 
     def update_count(self, pfn: int) -> int:
         """In how many of the remembered epochs was the page updated?"""
-        return int(bin(int(self._history[pfn])).count("1"))
+        return int(self._counts[pfn])
 
-    def coldest(self, candidates: Iterable[int], k: int) -> List[int]:
+    @staticmethod
+    def _as_pfn_array(candidates: Union[np.ndarray, Iterable[int]]) -> np.ndarray:
+        if isinstance(candidates, np.ndarray):
+            return candidates.astype(np.int64, copy=False)
+        return np.fromiter(candidates, dtype=np.int64)
+
+    def _ranking_keys(self, pfns: np.ndarray):
+        """``(last, counts)`` ranking keys with out-of-window aging.
+
+        An update whose epoch has scrolled past the remembered window has
+        every history bit cleared (``counts == 0``); such pages rank as
+        never-observed (``last == -1``) instead of carrying their stale
+        absolute epoch forever.
+        """
+        counts = self._counts[pfns]
+        last = np.where(counts > 0, self._last_update[pfns], -1)
+        return last, counts
+
+    def coldest(self, candidates: Union[np.ndarray, Iterable[int]], k: int) -> List[int]:
         """The ``k`` least-recently-updated pages among ``candidates``.
 
         Ordered oldest-update first; ties broken by ascending update count
         (less write-popular first), then by page number for determinism.
+        Updates older than the window rank as never-observed.
         """
-        pfns = np.fromiter(candidates, dtype=np.int64)
+        pfns = self._as_pfn_array(candidates)
         if len(pfns) == 0 or k <= 0:
             return []
-        last = self._last_update[pfns]
-        counts = _popcount(self._history[pfns])
+        last, counts = self._ranking_keys(pfns)
         # lexsort keys: last key is primary.
         order = np.lexsort((pfns, counts, last))
         return [int(p) for p in pfns[order[: min(k, len(pfns))]]]
 
-    def hottest(self, candidates: Iterable[int], k: int) -> List[int]:
+    def hottest(self, candidates: Union[np.ndarray, Iterable[int]], k: int) -> List[int]:
         """The ``k`` most-recently-updated pages (diagnostics / tests)."""
-        pfns = np.fromiter(candidates, dtype=np.int64)
+        pfns = self._as_pfn_array(candidates)
         if len(pfns) == 0 or k <= 0:
             return []
-        last = self._last_update[pfns]
-        counts = _popcount(self._history[pfns])
+        last, counts = self._ranking_keys(pfns)
         order = np.lexsort((pfns, -counts, -last))
         return [int(p) for p in pfns[order[: min(k, len(pfns))]]]

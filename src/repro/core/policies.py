@@ -30,17 +30,28 @@ from __future__ import annotations
 import abc
 import random
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.history import UpdateHistory
+
+#: Policies accept either a plain sequence of page numbers or a numpy
+#: array (the runtime's vectorized candidate materialization).
+Candidates = Union[np.ndarray, Sequence[int]]
 
 
 class VictimPolicy(abc.ABC):
     """Ranks dirty pages for copying out to the SSD."""
 
     name: str = "abstract"
+
+    #: True when :meth:`rank` is a pure function of the candidate *set*
+    #: (ties broken by page number), letting the runtime hand over a
+    #: vectorized candidate array in sorted order.  Policies whose output
+    #: depends on candidate order (random's shuffle, the defensive
+    #: fallbacks of fifo/clock) keep the legacy materialization.
+    order_insensitive: bool = False
 
     def note_dirtied(self, pfn: int) -> None:
         """A page entered the dirty set (fault handler)."""
@@ -52,7 +63,7 @@ class VictimPolicy(abc.ABC):
         """An epoch scan observed these pages as updated."""
 
     @abc.abstractmethod
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         """The ``k`` best victims among ``candidates``, best first."""
 
 
@@ -60,11 +71,12 @@ class LeastRecentlyUpdatedPolicy(VictimPolicy):
     """The paper's policy: LRU over *writes*, via the epoch history."""
 
     name = "least-recently-updated"
+    order_insensitive = True
 
     def __init__(self, history: UpdateHistory) -> None:
         self.history = history
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         return self.history.coldest(candidates, k)
 
 
@@ -72,12 +84,13 @@ class LeastFrequentlyUpdatedPolicy(VictimPolicy):
     """LFU over the history window: least write-popular pages first."""
 
     name = "least-frequently-updated"
+    order_insensitive = True
 
     def __init__(self, history: UpdateHistory) -> None:
         self.history = history
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
-        pfns = list(candidates)
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
+        pfns = [int(pfn) for pfn in candidates]
         if not pfns or k <= 0:
             return []
         pfns.sort(key=lambda pfn: (self.history.update_count(pfn), pfn))
@@ -99,7 +112,7 @@ class FIFOPolicy(VictimPolicy):
     def note_cleaned(self, pfn: int) -> None:
         self._order.pop(pfn, None)
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         wanted = set(candidates)
         out = []
         for pfn in self._order:
@@ -126,7 +139,7 @@ class RandomPolicy(VictimPolicy):
     def __init__(self, seed: int = 1) -> None:
         self._rng = random.Random(seed)
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         pfns = list(candidates)
         if not pfns or k <= 0:
             return []
@@ -138,11 +151,12 @@ class MostRecentlyUpdatedPolicy(VictimPolicy):
     """Adversarial inverse of the default — quantifies recency's value."""
 
     name = "most-recently-updated"
+    order_insensitive = True
 
     def __init__(self, history: UpdateHistory) -> None:
         self.history = history
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         return self.history.hottest(candidates, k)
 
 
@@ -180,7 +194,7 @@ class ClockPolicy(VictimPolicy):
         self._ring = [pfn for pfn in self._ring if pfn in self._ref]
         self._hand = 0
 
-    def rank(self, candidates: Sequence[int], k: int) -> List[int]:
+    def rank(self, candidates: Candidates, k: int) -> List[int]:
         wanted = set(candidates)
         if not wanted or k <= 0:
             return []

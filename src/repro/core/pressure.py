@@ -15,6 +15,8 @@ tunes the trigger threshold online:
 
 from __future__ import annotations
 
+import math
+
 
 class PressureEstimator:
     """EWMA predictor of new-dirty-pages-per-epoch."""
@@ -42,11 +44,16 @@ class PressureEstimator:
         return self._prediction
 
     def threshold(self, dirty_budget_pages: int) -> int:
-        """Proactive-flush trigger: ``budget - pressure``, floored at 0.
+        """Proactive-flush trigger: ``budget - ceil(pressure)``, floored at 0.
 
         When the dirty count exceeds this threshold, the background
-        flusher starts copying out cold pages.
+        flusher starts copying out cold pages.  The prediction is rounded
+        *up*: the trigger must be conservatively early (a fractional page
+        of expected pressure still reserves a whole page of headroom) and
+        monotone in the prediction — ``int(round())`` would round half-
+        integers to even, so a *higher* pressure could yield a *higher*
+        threshold.
         """
         if dirty_budget_pages <= 0:
             raise ValueError(f"dirty_budget_pages must be positive: {dirty_budget_pages}")
-        return max(0, dirty_budget_pages - int(round(self._prediction)))
+        return max(0, dirty_budget_pages - math.ceil(self._prediction))

@@ -26,9 +26,12 @@ threshold interrupt.
 
 from __future__ import annotations
 
+import bisect
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple, Union
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance only
     from repro.power.battery import Battery
@@ -105,6 +108,23 @@ class NVDRAMSystem:
         self._next_page = 0
         self._free_chunks: List[Tuple[int, int]] = []  # (base_page, num_pages)
         self._started = False
+        # Hot-path aliases: the simulation, clock, and machine model are
+        # fixed for the system's lifetime, so the data path resolves them
+        # once instead of chasing attribute chains per page access.
+        self._clock = sim.clock
+        self._events = sim.events
+        self._drain = sim.drain_due
+        self._dram_cost_ns = self.machine.dram_access_cost_ns
+        self._page_size = self.region.page_size
+        self._region_bytes = self.region.size
+        self._tlb_hit = self.tlb.hit
+        self._tlb_hit_dirty = self.tlb.hit_dirty
+        # The data-path fast cases fuse the region's single-page slice
+        # helpers inline (one Python call per access instead of two); the
+        # bounds they would re-check are already established by the
+        # fast-path guards.  Same bookkeeping, same bytes.
+        self._region_pages = self.region._pages
+        self._page_version = self.region.page_version
 
     def _build_mmu(self) -> MMU:
         return MMU(self.page_table, self.tlb, self.machine)
@@ -138,6 +158,7 @@ class NVDRAMSystem:
         return mapping
 
     def _allocate_pages(self, pages_needed: int) -> int:
+        """First-fit over the (sorted, coalesced) free list, then the tail."""
         for index, (base, count) in enumerate(self._free_chunks):
             if count >= pages_needed:
                 if count == pages_needed:
@@ -146,9 +167,17 @@ class NVDRAMSystem:
                     self._free_chunks[index] = (base + pages_needed, count - pages_needed)
                 return base
         if self._next_page + pages_needed > self.region.num_pages:
+            tail_pages = self.region.num_pages - self._next_page
+            chunk_pages = sum(count for _base, count in self._free_chunks)
+            largest_chunk = max(
+                (count for _base, count in self._free_chunks), default=0
+            )
             raise OutOfNVDRAM(
-                f"need {pages_needed} pages, only "
-                f"{self.region.num_pages - self._next_page} contiguous pages left"
+                f"need {pages_needed} contiguous pages, but the largest "
+                f"free extent is {max(tail_pages, largest_chunk)} pages "
+                f"({tail_pages} tail + {chunk_pages} across "
+                f"{len(self._free_chunks)} free chunk(s), "
+                f"{tail_pages + chunk_pages} free in total)"
             )
         base = self._next_page
         self._next_page += pages_needed
@@ -161,7 +190,33 @@ class NVDRAMSystem:
             raise ValueError("mapping already unmapped")
         self._on_munmap(mapping)
         mapping.active = False
-        self._free_chunks.append((mapping.base_page, mapping.num_pages))
+        self._free_pages(mapping.base_page, mapping.num_pages)
+
+    def _free_pages(self, base: int, count: int) -> None:
+        """Return ``[base, base + count)`` to the free list, coalescing.
+
+        The free list is kept sorted by base page with no two chunks
+        adjacent, so adjacent frees merge into extents that can satisfy
+        larger mmaps (long-running mmap/munmap cycles must not fragment
+        the region into unusably small chunks).  A chunk that ends at the
+        allocation frontier is absorbed back into the untouched tail.
+        """
+        chunks = self._free_chunks
+        index = bisect.bisect_left(chunks, (base, count))
+        # Merge with the left neighbour when it ends exactly at ``base``.
+        if index > 0 and chunks[index - 1][0] + chunks[index - 1][1] == base:
+            index -= 1
+            prev_base, prev_count = chunks.pop(index)
+            base, count = prev_base, prev_count + count
+        # Merge with right neighbours starting exactly at our end.
+        while index < len(chunks) and chunks[index][0] == base + count:
+            count += chunks.pop(index)[1]
+        if base + count == self._next_page:
+            # The freed extent touches the allocation frontier: give it
+            # back to the tail so a full-region mmap can succeed again.
+            self._next_page = base
+        else:
+            chunks.insert(index, (base, count))
 
     def _on_mmap(self, mapping: Mapping) -> None:
         """Subclass hook: set initial protection for new pages."""
@@ -177,15 +232,24 @@ class NVDRAMSystem:
         Clients (e.g. the KV store) use this for work that happens outside
         the memory system — command parsing, hashing, allocator logic.
         """
+        if cost_ns < 0:
+            raise ValueError(f"cost must be non-negative: {cost_ns}")
         self._advance(cost_ns)
 
     def _advance(self, cost_ns: int) -> None:
-        self.sim.clock.advance(cost_ns)
-        self.sim.drain_due()
+        # ``drain_due`` is a no-op while the clock sits below the queue's
+        # next-due lower bound; skipping the call is interleaving-neutral.
+        # The clock bump is open-coded: every internal caller passes a
+        # non-negative machine-model cost, so ``SimClock.advance``'s
+        # validation would be pure per-access overhead here.
+        clock = self._clock
+        now = clock._now + cost_ns
+        clock._now = now
+        if now >= self._events.next_due_at:
+            self.sim.drain_due()
 
     def _touch_read(self, pfn: int) -> None:
-        outcome = self.mmu.read_access(pfn)
-        self._advance(outcome.cost_ns)
+        self._advance(self.mmu.read_cost(pfn))
 
     def _touch_write(self, pfn: int) -> None:
         """Resolve protection for a store to ``pfn``.
@@ -201,22 +265,65 @@ class NVDRAMSystem:
             self.sim.drain_due()
         """
         while True:
-            outcome = self.mmu.write_access(pfn)
-            if not outcome.faulted:
-                self.sim.clock.advance(outcome.cost_ns)
+            cost = self.mmu.write_probe(pfn)
+            if cost >= 0:
+                self._clock._now += cost
                 return
-            self._advance(outcome.cost_ns)
+            self._advance(-cost - 1)
             self._handle_fault(pfn)
 
     def _handle_fault(self, pfn: int) -> None:
         raise NotImplementedError
 
     def read(self, addr: int, size: int) -> bytes:
-        """Load ``size`` bytes, charging MMU costs for each page touched."""
-        self._require_started()
-        for pfn in self.region.pages_of_range(addr, size):
-            self._touch_read(pfn)
-        return self.region.read(addr, size)
+        """Load ``size`` bytes, charging MMU costs for each page touched.
+
+        TLB-hit fast path: a resident translation charges only the DRAM
+        access, inline; misses take the full MMU path, which inserts the
+        entry and counts the miss exactly once.
+        """
+        if not self._started:
+            self._require_started()
+        region = self.region
+        if size <= 0 or addr < 0 or addr + size > self._region_bytes:
+            # Rare: keep the legacy path's validation behavior exactly
+            # (empty reads, plus the canonical out-of-range exceptions).
+            for pfn in region.pages_of_range(addr, size):
+                self._touch_read(pfn)
+            return region.read(addr, size)
+        page_size = self._page_size
+        first = addr // page_size
+        last = (addr + size - 1) // page_size
+        mmu = self.mmu
+        clock = self._clock
+        events = self._events
+        dram_cost = self._dram_cost_ns
+        if first == last:
+            if self._tlb_hit(first):
+                mmu.read_accesses += 1
+                now = clock._now + dram_cost
+                clock._now = now
+                if now >= events.next_due_at:
+                    self._drain()
+            else:
+                self._touch_read(first)
+            page = self._region_pages.get(first)
+            if page is None:
+                return bytes(size)
+            offset = addr - first * page_size
+            return bytes(memoryview(page)[offset : offset + size])
+        tlb_hit = self._tlb_hit
+        drain = self._drain
+        for pfn in range(first, last + 1):
+            if tlb_hit(pfn):
+                mmu.read_accesses += 1
+                now = clock._now + dram_cost
+                clock._now = now
+                if now >= events.next_due_at:
+                    drain()
+            else:
+                self._touch_read(pfn)
+        return region.read(addr, size)
 
     def write(self, addr: int, data: bytes) -> None:
         """Store ``data``, faulting (and resolving) per protected page.
@@ -224,19 +331,59 @@ class NVDRAMSystem:
         Each page's slice is applied immediately after its access
         resolves, so no background flush can interleave between "page
         became writable and dirty" and "the bytes actually landed".
+
+        TLB fast path: a translation cached *dirty* implies the page is
+        unprotected and its PTE dirty bit already set (protection toggles
+        always shoot the entry down), so the store charges one DRAM
+        access inline and skips the MMU round-trip.
         """
-        self._require_started()
+        if not self._started:
+            self._require_started()
         if not data:
+            return
+        region = self.region
+        page_size = self._page_size
+        if addr < 0 or addr + len(data) > self._region_bytes:
+            region.page_of(addr if addr < 0 else self._region_bytes)  # raises
+        mmu = self.mmu
+        hit_dirty = self._tlb_hit_dirty
+        clock = self._clock
+        events = self._events
+        drain = self._drain
+        dram_cost = self._dram_cost_ns
+        pfn = addr // page_size
+        offset = addr - pfn * page_size
+        if offset + len(data) <= page_size:
+            # Common case: the store lands in one page — no cursor walk,
+            # no memoryview slicing.
+            if hit_dirty(pfn):
+                mmu.write_accesses += 1
+                clock._now += dram_cost
+            else:
+                self._touch_write(pfn)
+            pages = self._region_pages
+            page = pages.get(pfn)
+            if page is None:
+                page = pages[pfn] = bytearray(page_size)
+            page[offset : offset + len(data)] = data
+            self._page_version[pfn] += 1
+            if clock._now >= events.next_due_at:
+                drain()
             return
         cursor = addr
         view = memoryview(data)
         while view.nbytes > 0:
-            pfn = self.region.page_of(cursor)
-            offset = cursor % self.region.page_size
-            take = min(view.nbytes, self.region.page_size - offset)
-            self._touch_write(pfn)
-            self.region.write(cursor, bytes(view[:take]))
-            self.sim.drain_due()
+            pfn = cursor // page_size
+            offset = cursor - pfn * page_size
+            take = min(view.nbytes, page_size - offset)
+            if hit_dirty(pfn):
+                mmu.write_accesses += 1
+                clock._now += dram_cost
+            else:
+                self._touch_write(pfn)
+            region.write_page_slice(pfn, offset, view[:take])
+            if clock._now >= events.next_due_at:
+                drain()
             cursor += take
             view = view[take:]
 
@@ -304,7 +451,7 @@ class Viyojit(NVDRAMSystem):
             else BackingStore(num_pages, self.machine.page_size)
         )
         self.stats = ViyojitStats()
-        self.tracker = DirtyTracker(config.dirty_budget_pages)
+        self.tracker = DirtyTracker(config.dirty_budget_pages, num_pages)
         self.history = UpdateHistory(num_pages, config.history_epochs)
         self.pressure = PressureEstimator(config.pressure_alpha)
         from repro.core.policies import make_policy
@@ -474,10 +621,20 @@ class Viyojit(NVDRAMSystem):
     # -- victim selection ------------------------------------------------------
 
     def _rebuild_victim_queue(self) -> None:
-        candidates = [
-            pfn for pfn in self.tracker if not self.flusher.is_inflight(pfn)
-        ]
         want = max(self.config.max_outstanding_io * 4, 64)
+        if self.policy.order_insensitive and self.tracker.dirty_mask is not None:
+            # One vectorized step over the membership masks; valid only
+            # because the policy's ranking is a pure function of the
+            # candidate set, not of the order we materialize it in.
+            if self.flusher.outstanding:
+                mask = self.tracker.dirty_mask & ~self.flusher.inflight_mask
+            else:
+                mask = self.tracker.dirty_mask
+            candidates: Union[np.ndarray, List[int]] = np.flatnonzero(mask)
+        else:
+            candidates = [
+                pfn for pfn in self.tracker if not self.flusher.is_inflight(pfn)
+            ]
         self._victim_queue = deque(self.policy.rank(candidates, want))
 
     def _next_victim(self) -> Optional[int]:

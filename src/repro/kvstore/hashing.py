@@ -11,10 +11,14 @@ _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 
 
-def fnv1a(data: bytes) -> int:
+def fnv1a(
+    data: bytes,
+    _offset: int = _FNV_OFFSET,
+    _prime: int = _FNV_PRIME,
+    _mask: int = 0xFFFFFFFFFFFFFFFF,
+) -> int:
     """64-bit FNV-1a hash of ``data``."""
-    value = _FNV_OFFSET
+    value = _offset
     for byte in data:
-        value ^= byte
-        value = (value * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+        value = ((value ^ byte) * _prime) & _mask
     return value

@@ -48,6 +48,7 @@ the crash tests' ground truth for durability.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
@@ -58,6 +59,10 @@ from repro.kvstore.heap import PersistentHeap, size_class
 MAGIC = b"VIYOKVS1"
 RECORD_HEADER = 24
 LRU_OFFSET = 16
+
+#: next-address (u64), key length (u32), value length (u32) — the first
+#: 16 bytes of a record header, precompiled for the chain-walk hot path.
+_RECORD_FIELDS = struct.Struct("<QII")
 NULL = 0
 
 __all__ = ["KVStore", "KVStoreStats", "fnv1a", "MAGIC", "RECORD_HEADER"]
@@ -118,10 +123,19 @@ class KVStore:
         self.heap_mapping = system.mmap(heap_bytes)
         self.heap = PersistentHeap(system, self.heap_mapping)
         self.stats = KVStoreStats()
+        # key -> bucket link address; fnv1a is pure and the bucket layout
+        # is fixed at construction, so memoizing is wall-clock-only.
+        self._bucket_cache: Dict[bytes, int] = {}
         self._record_count = 0
         self._op_counter = 0
         self._metadata_pages = int(metadata_pages)
         self._lru_update_interval = int(lru_update_interval)
+        # Fixed addresses touched on every operation, resolved once.
+        self._metadata_addrs = [
+            self.stats_region.addr(page * page_size)
+            for page in range(self._metadata_pages)
+        ]
+        self._opctr_addr = self.header.addr(24)
 
         if _create:
             system.write(self.header.base_addr, MAGIC)
@@ -191,8 +205,12 @@ class KVStore:
     # -- low-level helpers ---------------------------------------------------
 
     def _bucket_addr(self, key: bytes) -> int:
-        index = fnv1a(key) % self.num_buckets
-        return self.buckets.addr(index * 8)
+        addr = self._bucket_cache.get(key)
+        if addr is None:
+            index = fnv1a(key) % self.num_buckets
+            addr = self.buckets.addr(index * 8)
+            self._bucket_cache[key] = addr
+        return addr
 
     def _read_ptr(self, addr: int) -> int:
         return int.from_bytes(self.system.read(addr, 8), "little")
@@ -202,10 +220,7 @@ class KVStore:
 
     def _read_record_header(self, addr: int) -> Tuple[int, int, int]:
         raw = self.system.read(addr, RECORD_HEADER)
-        next_addr = int.from_bytes(raw[0:8], "little")
-        key_len = int.from_bytes(raw[8:12], "little")
-        val_len = int.from_bytes(raw[12:16], "little")
-        return next_addr, key_len, val_len
+        return _RECORD_FIELDS.unpack_from(raw)
 
     def _record_key(self, addr: int, key_len: int) -> bytes:
         return self.system.read(addr + RECORD_HEADER, key_len)
@@ -228,17 +243,11 @@ class KVStore:
 
     def _touch_metadata(self) -> None:
         """One metadata store per op (Redis-internal bookkeeping analogue)."""
-        self._op_counter += 1
-        page = self._op_counter % self._metadata_pages
-        offset = page * self.system.region.page_size
-        self.system.write(
-            self.stats_region.addr(offset),
-            self._op_counter.to_bytes(8, "little"),
-        )
+        counter = self._op_counter = self._op_counter + 1
+        stamp = counter.to_bytes(8, "little")
+        self.system.write(self._metadata_addrs[counter % self._metadata_pages], stamp)
         # The header's op counter is the hottest page in the store.
-        self.system.write(
-            self.header.addr(24), self._op_counter.to_bytes(8, "little")
-        )
+        self.system.write(self._opctr_addr, stamp)
 
     def _charge_base(self) -> None:
         self.system.charge(self.base_op_cost_ns)

@@ -32,7 +32,7 @@ class WriteProtectionFault(Exception):
         self.pfn = pfn
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of one page access through the MMU.
 
@@ -87,6 +87,15 @@ class MMU:
         self.read_accesses += 1
         return AccessOutcome(cost_ns=self._translate_cost(pfn))
 
+    def read_cost(self, pfn: int) -> int:
+        """Hot-path form of :meth:`read_access`: just the cost, no outcome.
+
+        Loads never fault and have no PTE side effects, so the outcome
+        object carries nothing but ``cost_ns`` — skip allocating it.
+        """
+        self.read_accesses += 1
+        return self._translate_cost(pfn)
+
     def write_access(self, pfn: int) -> AccessOutcome:
         """A store: faults when the page is write-protected.
 
@@ -94,8 +103,15 @@ class MMU:
         is clear, the PTE dirty bit is set and the flag cached — later
         stores through the same cached translation leave the PTE untouched
         (the stale-dirty-bit mechanism of section 6.3).
+
+        Fast path: a resident translation whose cached dirty flag is set
+        implies the page is unprotected (protection toggles always shoot
+        the entry down) and its PTE dirty bit is already set, so the
+        store needs no protection check and no PTE side effects.
         """
         self.write_accesses += 1
+        if self.tlb.hit_dirty(pfn):
+            return AccessOutcome(cost_ns=self.machine.dram_access_cost_ns)
         cost = self._translate_cost(pfn)
         if self.page_table.is_write_protected(pfn):
             self.faults += 1
@@ -108,6 +124,28 @@ class MMU:
             self.tlb.cache_dirty(pfn)
             newly_dirtied = True
         return AccessOutcome(cost_ns=cost, faulted=False, newly_dirtied=newly_dirtied)
+
+    def write_probe(self, pfn: int) -> int:
+        """Hot-path form of :meth:`write_access`: an int, no outcome object.
+
+        Returns ``cost_ns`` (>= 0) when the store succeeded, or
+        ``-cost_ns - 1`` when it faulted.  Accounting, tracing, and PTE
+        side effects are identical to :meth:`write_access`; only the
+        per-store allocation is gone.
+        """
+        self.write_accesses += 1
+        if self.tlb.hit_dirty(pfn):
+            return self.machine.dram_access_cost_ns
+        cost = self._translate_cost(pfn)
+        if self.page_table.is_write_protected(pfn):
+            self.faults += 1
+            if self.tracer.enabled:
+                self.tracer.emit(WriteFault(t=self.tracer.now(), pfn=pfn))
+            return -cost - 1
+        if not self.tlb.dirty_cached(pfn):
+            self.page_table.set_dirty(pfn)
+            self.tlb.cache_dirty(pfn)
+        return cost
 
     # -- runtime-side PTE manipulation (the paper's kernel module) --------
 
@@ -199,8 +237,14 @@ class HardwareAssistedMMU(MMU):
         dirty tracking itself never traps.  The budget is enforced via the
         ``on_new_dirty`` hook (which the runtime points at its eviction
         path) and, optionally, the programmed threshold interrupt.
+
+        Same cached-dirty fast path as :meth:`MMU.write_access`: a dirty
+        resident translation implies unprotected + PTE already dirty, so
+        neither the counter nor the hooks can fire.
         """
         self.write_accesses += 1
+        if self.tlb.hit_dirty(pfn):
+            return AccessOutcome(cost_ns=self.machine.dram_access_cost_ns)
         cost = self._translate_cost(pfn)
         if self.page_table.is_write_protected(pfn):
             self.faults += 1
@@ -225,6 +269,34 @@ class HardwareAssistedMMU(MMU):
                     self.interrupts_raised += 1
                     self.on_threshold(pfn)
         return AccessOutcome(cost_ns=cost, faulted=False, newly_dirtied=newly_dirtied)
+
+    def write_probe(self, pfn: int) -> int:
+        """Allocation-free :meth:`write_access`; same counter/hook logic."""
+        self.write_accesses += 1
+        if self.tlb.hit_dirty(pfn):
+            return self.machine.dram_access_cost_ns
+        cost = self._translate_cost(pfn)
+        if self.page_table.is_write_protected(pfn):
+            self.faults += 1
+            if self.tracer.enabled:
+                self.tracer.emit(WriteFault(t=self.tracer.now(), pfn=pfn))
+            return -cost - 1
+        if not self.tlb.dirty_cached(pfn):
+            first_time_dirty = not self.page_table.shadow_dirty[pfn]
+            if first_time_dirty and self.on_new_dirty is not None:
+                self.on_new_dirty(pfn)
+            self.page_table.set_dirty(pfn)
+            self.tlb.cache_dirty(pfn)
+            if first_time_dirty:
+                self.dirty_counter += 1
+                if (
+                    self.interrupt_threshold is not None
+                    and self.dirty_counter >= self.interrupt_threshold
+                    and self.on_threshold is not None
+                ):
+                    self.interrupts_raised += 1
+                    self.on_threshold(pfn)
+        return cost
 
     def page_cleaned(self, pfn: int) -> None:
         """OS notification that a page was flushed: decrement the counter."""

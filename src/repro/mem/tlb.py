@@ -77,6 +77,34 @@ class TLB:
         self._entries[pfn] = False
         return False
 
+    # -- hot-path probes ---------------------------------------------------
+    #
+    # ``lookup`` inserts on miss, so probing it speculatively would perturb
+    # residency.  These probes touch-and-count *only* on success and leave
+    # the TLB (and its counters) completely untouched on failure, letting
+    # callers fall back to the full access path — which then counts the
+    # miss exactly once.
+
+    def hit(self, pfn: int) -> bool:
+        """Touch ``pfn`` if resident; no insertion or miss accounting."""
+        if pfn in self._entries:
+            self._entries.move_to_end(pfn)
+            self.hits += 1
+            return True
+        return False
+
+    def hit_dirty(self, pfn: int) -> bool:
+        """Touch ``pfn`` only if resident *with the cached dirty flag set*.
+
+        A hit-but-clean entry is left untouched (not even counted): the
+        caller's fallback path will perform the one canonical lookup.
+        """
+        if self._entries.get(pfn, False):
+            self._entries.move_to_end(pfn)
+            self.hits += 1
+            return True
+        return False
+
     # -- dirty-state caching ----------------------------------------------
 
     def dirty_cached(self, pfn: int) -> bool:

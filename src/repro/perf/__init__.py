@@ -1,0 +1,28 @@
+"""Wall-clock performance layer: micro/macro benchmarks and BENCH.json.
+
+Everything else in this repository measures *simulated* time; this
+package is the one place that measures *wall* time — how fast the
+simulator itself runs.  The split is strict:
+
+- Each benchmark reports a ``sim`` section computed from one
+  deterministic pass (operation counts, simulated nanoseconds, fault and
+  flush counters).  Two invocations produce byte-identical ``sim``
+  sections; a change here means simulation *behavior* changed.
+- All wall-clock measurements (and the run timestamp) live under the
+  report's single ``wall`` key, the only part allowed to differ between
+  runs.  Wall fields are named ``wall_s`` per the V1 lint rule.
+
+``python -m repro perf`` drives the suite and emits the schema-versioned
+``BENCH.json``; ``--against`` compares wall times with a checked-in
+baseline for the CI perf-smoke job.
+"""
+
+from repro.perf.report import SCHEMA_VERSION, build_report, compare_reports
+from repro.perf.suite import run_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "build_report",
+    "compare_reports",
+    "run_suite",
+]

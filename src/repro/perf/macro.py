@@ -1,0 +1,78 @@
+"""Macro benchmark: the YCSB-zipfian workload, end to end.
+
+Replays the same YCSB-A (zipfian) run the figure regenerators use,
+against both systems — ``Viyojit`` at the paper's 11%-of-heap budget
+point and the ``FullBatteryNVDRAM`` baseline — and reports how fast the
+*simulator* executes each.  The simulated results (throughput in
+simulated time, fault counts, flushed bytes) land in the deterministic
+``sim`` section; wall seconds are measured separately with the same
+best-of-N protocol as the micro suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.runner import ExperimentScale, RunResult, run_workload
+from repro.workloads.ycsb import YCSB_A
+
+#: The paper's 2 GB-battery point on the 17.5 GB heap axis.
+BUDGET_FRACTION = 0.175
+
+
+@dataclass
+class MacroBench:
+    """One macro configuration: deterministic results + a timed pass."""
+
+    name: str
+    units: int
+    sim: Dict[str, object]
+    one_pass: Callable[[], object] = field(repr=False)
+
+
+def _sim_section(result: RunResult) -> Dict[str, object]:
+    section: Dict[str, object] = {
+        "workload": result.workload,
+        "system": result.system_kind,
+        "budget_pages": result.budget_pages,
+        "ops_executed": result.ops_executed,
+        "sim_elapsed_ns": result.elapsed_ns,
+        "throughput_kops_sim": round(result.throughput_kops, 3),
+        "ssd_bytes_written": result.ssd_bytes_written,
+    }
+    if result.viyojit_stats is not None:
+        stats = dict(result.viyojit_stats)
+        stats.pop("dirty_samples", None)
+        section["stats"] = stats
+    return section
+
+
+def macro_benches(quick: bool) -> List[MacroBench]:
+    """Viyojit and the full-battery baseline at one YCSB-A scale."""
+    scale = ExperimentScale(
+        record_count=1_500 if quick else 2_000,
+        operation_count=4_000 if quick else 16_000,
+    )
+    benches = []
+    for name, budget in (
+        ("viyojit", BUDGET_FRACTION),
+        ("nvdram", None),
+    ):
+        benches.append(_one_config(name, scale, budget))
+    return benches
+
+
+def _one_config(
+    name: str, scale: ExperimentScale, budget: Optional[float]
+) -> MacroBench:
+    def one_pass() -> RunResult:
+        return run_workload(YCSB_A, scale, budget)
+
+    result = one_pass()
+    return MacroBench(
+        name=name,
+        units=result.ops_executed,
+        sim=_sim_section(result),
+        one_pass=one_pass,
+    )

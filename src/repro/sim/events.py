@@ -17,6 +17,9 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
 
+#: Sentinel for "no pending event": later than any reachable timestamp.
+NEVER_NS = 1 << 63
+
 
 @dataclass(frozen=True)
 class Event:
@@ -32,12 +35,20 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` ordered by timestamp then FIFO."""
+    """Min-heap of :class:`Event` ordered by timestamp then FIFO.
+
+    :attr:`next_due_at` is a *lower bound* on the earliest pending
+    event's timestamp (``NEVER_NS`` when empty), maintained so hot-path
+    callers can skip :meth:`pop_due` entirely while the clock has not
+    reached it.  Cancellations may leave the bound conservatively early —
+    never late — so "clock below the bound" always means "nothing due".
+    """
 
     def __init__(self) -> None:
         self._heap: List[Tuple[int, int, Event]] = []
         self._counter = itertools.count()
         self._cancelled: set = set()
+        self.next_due_at: int = NEVER_NS
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -48,11 +59,16 @@ class EventQueue:
             raise ValueError(f"cannot schedule event at negative time: {when_ns}")
         event = Event(when_ns=int(when_ns), seq=next(self._counter), action=action)
         heapq.heappush(self._heap, (event.when_ns, event.seq, event))
+        if event.when_ns < self.next_due_at:
+            self.next_due_at = event.when_ns
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (lazily removed on pop)."""
         self._cancelled.add((event.when_ns, event.seq))
+
+    def _refresh_bound(self) -> None:
+        self.next_due_at = self._heap[0][0] if self._heap else NEVER_NS
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the earliest pending event, or ``None`` if empty."""
@@ -62,11 +78,15 @@ class EventQueue:
                 heapq.heappop(self._heap)
                 self._cancelled.discard((when, seq))
                 continue
+            self.next_due_at = when
             return when
+        self.next_due_at = NEVER_NS
         return None
 
     def pop_due(self, now_ns: int) -> Optional[Event]:
         """Pop the earliest event with timestamp <= ``now_ns``, if any."""
+        if now_ns < self.next_due_at:
+            return None
         while self._heap:
             when, seq, event = self._heap[0]
             if (when, seq) in self._cancelled:
@@ -74,9 +94,12 @@ class EventQueue:
                 self._cancelled.discard((when, seq))
                 continue
             if when > now_ns:
+                self.next_due_at = when
                 return None
             heapq.heappop(self._heap)
+            self._refresh_bound()
             return event
+        self.next_due_at = NEVER_NS
         return None
 
 

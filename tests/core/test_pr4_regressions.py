@@ -1,0 +1,174 @@
+"""Regression tests for the allocator, ranking, and threshold bugfixes.
+
+Each class pins one fixed bug so it cannot silently return:
+
+- allocator fragmentation: freed extents must coalesce (with each other
+  and with the allocation frontier) so mmap/munmap cycles never
+  fragment the region into permanent unusability;
+- victim-ranking staleness: updates older than the history window must
+  rank as never-observed, and the victim queue must never yield pages
+  that were cleaned or went in-flight after the queue was built;
+- proactive threshold rounding: the trigger must round pressure *up*
+  and stay monotone at half-integer pressures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.history import UpdateHistory
+from repro.core.pressure import PressureEstimator
+from repro.core.runtime import OutOfNVDRAM
+from tests.conftest import make_viyojit
+
+PAGE = 4096
+
+
+class TestAllocatorCoalescing:
+    def test_full_region_survives_mmap_munmap_cycles(self, sim):
+        system = make_viyojit(sim, num_pages=256)
+        total = 256 * PAGE
+        for _ in range(3):
+            a = system.mmap(64 * PAGE)
+            b = system.mmap(64 * PAGE)
+            c = system.mmap(128 * PAGE)
+            # Free out of order: middle, first, last.
+            system.munmap(b)
+            system.munmap(a)
+            system.munmap(c)
+            whole = system.mmap(total)
+            system.munmap(whole)
+
+    def test_checkerboard_free_coalesces(self, sim):
+        system = make_viyojit(sim, num_pages=256)
+        mappings = [system.mmap(32 * PAGE) for _ in range(8)]
+        for mapping in mappings[1::2]:
+            system.munmap(mapping)
+        for mapping in mappings[0::2]:
+            system.munmap(mapping)
+        # Every hole merged back: one full-region allocation must fit.
+        system.mmap(256 * PAGE)
+
+    def test_interior_neighbors_merge_both_ways(self, sim):
+        system = make_viyojit(sim, num_pages=256)
+        a = system.mmap(32 * PAGE)
+        b = system.mmap(32 * PAGE)
+        c = system.mmap(32 * PAGE)
+        tail = system.mmap(160 * PAGE)
+        system.munmap(a)
+        system.munmap(c)
+        system.munmap(b)  # bridges a..c into one 96-page extent
+        d = system.mmap(96 * PAGE)
+        assert d.base_page == a.base_page
+        system.munmap(tail)
+        system.munmap(d)
+
+    def test_out_of_space_reports_largest_extent(self, sim):
+        system = make_viyojit(sim, num_pages=256)
+        first = system.mmap(128 * PAGE)
+        system.mmap(96 * PAGE)
+        system.munmap(first)  # 128 free + 32 tail, not contiguous
+        with pytest.raises(OutOfNVDRAM, match=r"largest\s+free extent is 128 pages"):
+            system.mmap(200 * PAGE)
+
+
+class TestOutOfWindowRanking:
+    def test_aged_out_update_ranks_as_never_observed(self):
+        history = UpdateHistory(5, history_epochs=4)
+        history.record_scan(np.array([0], dtype=np.int64))  # epoch 0
+        for pfn in (1, 2, 3, 1):  # epochs 1..4 push epoch 0 out
+            history.record_scan(np.array([pfn], dtype=np.int64))
+        # Page 0's update aged out; page 4 was never updated.  Both are
+        # never-observed now, so the tie breaks by page number — the
+        # pre-fix ranking put 4 strictly before 0.
+        assert history.coldest(range(5), 5) == [0, 4, 2, 3, 1]
+
+    def test_in_window_update_still_ranks_by_recency(self):
+        history = UpdateHistory(4, history_epochs=8)
+        history.record_scan(np.array([0], dtype=np.int64))
+        history.record_scan(np.array([1], dtype=np.int64))
+        assert history.coldest(range(4), 4) == [2, 3, 0, 1]
+
+    def test_update_count_zero_after_window_slides(self):
+        history = UpdateHistory(3, history_epochs=2)
+        history.record_scan(np.array([0], dtype=np.int64))
+        history.record_scan(np.array([1], dtype=np.int64))
+        history.record_scan(np.array([1], dtype=np.int64))
+        assert history.update_count(0) == 0
+        assert history.update_count(1) == 2
+
+
+class TestThresholdRounding:
+    def test_half_integer_pressure_rounds_up(self):
+        estimator = PressureEstimator(alpha=0.5)
+        estimator.observe(5)
+        assert estimator.pressure == 2.5
+        # ceil(2.5) = 3 headroom pages; int(round(2.5)) == 2 was the bug.
+        assert estimator.threshold(10) == 7
+
+    def test_threshold_monotone_in_pressure(self):
+        thresholds = []
+        for observation in range(0, 13):
+            estimator = PressureEstimator(alpha=0.5)
+            estimator.observe(observation)  # pressure = observation / 2
+            thresholds.append(estimator.threshold(10))
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_fractional_pressure_reserves_whole_page(self):
+        estimator = PressureEstimator(alpha=0.25)
+        estimator.observe(1)  # pressure 0.25
+        assert estimator.threshold(8) == 7
+
+
+class TestVictimQueueStaleness:
+    def _dirty_pages(self, system, mapping, count):
+        for index in range(count):
+            system.write(mapping.base_addr + index * PAGE, b"d" * 8)
+
+    def test_cleaned_page_never_reissued(self, sim):
+        system = make_viyojit(sim, num_pages=128, budget=16, proactive=False)
+        mapping = system.mmap(32 * PAGE)
+        self._dirty_pages(system, mapping, 8)
+        system._rebuild_victim_queue()
+        queued = list(system._victim_queue)
+        assert queued, "expected dirty pages in the victim queue"
+        # A flush completes between epochs: the page leaves the tracker
+        # while still sitting in the stale queue.
+        cleaned = queued[0]
+        system.tracker.remove(cleaned)
+        victim = system._next_victim()
+        assert victim is not None
+        assert victim != cleaned
+        assert victim in system.tracker
+
+    def test_inflight_page_skipped(self, sim):
+        system = make_viyojit(sim, num_pages=128, budget=16, proactive=False)
+        mapping = system.mmap(32 * PAGE)
+        self._dirty_pages(system, mapping, 8)
+        system._rebuild_victim_queue()
+        target = list(system._victim_queue)[0]
+        system.flusher.issue(target)
+        victim = system._next_victim()
+        assert victim is not None
+        assert victim != target
+        assert not system.flusher.is_inflight(victim)
+
+    def test_rebuild_excludes_inflight_pages(self, sim):
+        system = make_viyojit(sim, num_pages=128, budget=16, proactive=False)
+        mapping = system.mmap(32 * PAGE)
+        self._dirty_pages(system, mapping, 8)
+        system._rebuild_victim_queue()
+        target = list(system._victim_queue)[0]
+        system.flusher.issue(target)
+        system._rebuild_victim_queue()
+        assert target not in system._victim_queue
+
+    def test_queue_drained_empty_returns_none_when_all_clean(self, sim):
+        system = make_viyojit(sim, num_pages=128, budget=16, proactive=False)
+        mapping = system.mmap(32 * PAGE)
+        self._dirty_pages(system, mapping, 4)
+        for pfn in list(system.tracker):
+            system.tracker.remove(pfn)
+        system._rebuild_victim_queue()
+        assert system._next_victim() is None

@@ -161,7 +161,11 @@ def test_history_coldest_matches_bruteforce(scans):
 
     def brute_key(pfn):
         count = sum(1 for epoch_set in window if pfn in epoch_set)
-        return (last.get(pfn, -1), count, pfn)
+        # Updates older than the history window are gone: a page with no
+        # in-window updates ranks as never-observed, even if it was updated
+        # before the window slid past it.
+        last_update = last.get(pfn, -1) if count > 0 else -1
+        return (last_update, count, pfn)
 
     expected = sorted(candidates, key=brute_key)[:5]
     assert history.coldest(candidates, 5) == expected
