@@ -40,6 +40,8 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
+import numpy as np
+
 #: The invariant identifiers, in checking order.
 INVARIANTS: Tuple[str, ...] = (
     "clock-monotonic",
@@ -157,4 +159,12 @@ class SimulationSanitizer:
                 "scan-coherence",
                 f"{system.tlb.resident} TLB entries survived the "
                 "epoch-scan flush",
+            )
+        cached = system.page_table.dirty_count
+        actual = int(np.count_nonzero(system.page_table.dirty))
+        if cached != actual:
+            self._fail(
+                "scan-coherence",
+                f"cached dirty_count {cached} diverged from the dirty "
+                f"column ({actual} bits set)",
             )

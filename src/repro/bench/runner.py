@@ -39,7 +39,9 @@ from repro.workloads.ycsb import (
     Operation,
     WorkloadSpec,
     generate_operations,
+    iter_op_batches,
     load_operations,
+    make_key,
 )
 
 PAPER_HEAP_GB = 17.5  # the paper's initial dataset, used to label budgets
@@ -237,6 +239,28 @@ def value_bytes(key: bytes, size: int, nonce: int = 0) -> bytes:
     return (seed * reps)[:size]
 
 
+def value_seeds_batch(keys, nonces) -> List[bytes]:
+    """The 8-byte :func:`value_bytes` seeds for many (key, nonce) pairs.
+
+    One vectorized FNV pass over ``key + nonce`` rows — bit-identical to
+    calling ``fnv1a`` per pair (all YCSB keys share one width, so the
+    rows pack into a rectangular matrix).  ``(seed * reps)[:size]``
+    reconstructs the exact :func:`value_bytes` payload.
+    """
+    from repro.kvstore.hashing import fnv1a_rows
+
+    if not keys:
+        return []
+    width = len(keys[0]) + 8
+    blob = b"".join(
+        key + int(nonce).to_bytes(8, "little")
+        for key, nonce in zip(keys, nonces)
+    )
+    rows = np.frombuffer(blob, dtype=np.uint8).reshape(len(keys), width)
+    seeds = fnv1a_rows(rows).astype("<u8").tobytes()
+    return [seeds[i : i + 8] for i in range(0, len(seeds), 8)]
+
+
 class YCSBRunner:
     """Loads a store and replays YCSB operation streams against it."""
 
@@ -263,6 +287,23 @@ class YCSBRunner:
         """The YCSB load phase (excluded from measurements)."""
         for op in load_operations(self.scale.record_count, self.scale.value_size):
             self.store.put(op.key, value_bytes(op.key, self.scale.value_size))
+
+    def load_batched(self, batch_size: int = 2048) -> None:
+        """The load phase through the fused put path (same store image)."""
+        if self.store.index is not None:
+            self.load()
+            return
+        from repro.kvstore.fastpath import build_fast_ops
+
+        put = build_fast_ops(self.store).put
+        size = self.scale.value_size
+        reps = -(-size // 8)
+        for start in range(0, self.scale.record_count, batch_size):
+            stop = min(start + batch_size, self.scale.record_count)
+            keys = [make_key(index) for index in range(start, stop)]
+            seeds = value_seeds_batch(keys, [0] * len(keys))
+            for key, seed in zip(keys, seeds):
+                put(key, (seed * reps)[:size])
 
     def _execute(self, op: Operation) -> str:
         """Run one operation; returns the latency bucket it belongs to."""
@@ -323,6 +364,83 @@ class YCSBRunner:
             )
             executed += 1
         elapsed = self.sim.now - started
+        return self._result(spec, executed, elapsed, samples, ssd, bytes_before)
+
+    def run_batched(
+        self, spec: WorkloadSpec, batch_size: int = 2048
+    ) -> RunResult:
+        """Replay one workload through the batched execution path.
+
+        Operations are generated in chunks (:func:`iter_op_batches`),
+        value payloads come from one vectorized hash pass per chunk, and
+        every store operation runs through the fused closures of
+        :mod:`repro.kvstore.fastpath`.  Simulated results are
+        byte-identical to :meth:`run` — only wall time changes.  Scans
+        (ordered stores) fall back to the per-op path.
+        """
+        if spec.scan_proportion > 0 or self.store.index is not None:
+            return self.run(spec)
+        from repro.bench.histogram import LatencyHistogram
+        from repro.kvstore.fastpath import build_fast_ops
+
+        fast = build_fast_ops(self.store)
+        fast_get, fast_put, fast_rmw = fast.get, fast.put, fast.rmw
+        clock = self.sim.clock
+        size = self.scale.value_size
+        reps = -(-size // 8)
+        samples: Dict[str, LatencyHistogram] = {}
+        histogram_for = samples.setdefault
+        ssd = getattr(self.system, "ssd", None)
+        bytes_before = ssd.stats.bytes_written if ssd is not None else 0
+        started = clock._now
+        executed = 0
+        for batch in iter_op_batches(
+            spec,
+            record_count=self.scale.record_count,
+            operation_count=self.scale.operation_count,
+            value_size=size,
+            theta=self.scale.zipf_theta,
+            seed=self.scale.seed,
+            batch_size=batch_size,
+        ):
+            kinds = batch.kinds
+            keys = batch.keys
+            # One vectorized hash pass covers every mutating op's payload
+            # seed; nonces continue the per-op path's numbering exactly.
+            mutating = [
+                index for index, kind in enumerate(kinds) if kind != "read"
+            ]
+            nonce = self._nonce
+            seeds = value_seeds_batch(
+                [keys[index] for index in mutating],
+                range(nonce + 1, nonce + 1 + len(mutating)),
+            )
+            self._nonce = nonce + len(mutating)
+            seed_at = dict(zip(mutating, seeds))
+            for index, kind in enumerate(kinds):
+                op_start = clock._now
+                if kind == "read":
+                    fast_get(keys[index])
+                elif kind == "rmw":
+                    seed = seed_at[index]
+                    fast_rmw(
+                        keys[index],
+                        lambda val_len, _seed=seed: (
+                            _seed * (-(-val_len // 8))
+                        )[:val_len],
+                    )
+                else:  # update | insert
+                    fast_put(keys[index], (seed_at[index] * reps)[:size])
+                histogram_for(kind, LatencyHistogram()).record(
+                    clock._now - op_start
+                )
+                executed += 1
+        elapsed = clock._now - started
+        return self._result(spec, executed, elapsed, samples, ssd, bytes_before)
+
+    def _result(
+        self, spec, executed, elapsed, samples, ssd, bytes_before
+    ) -> RunResult:
         stats = getattr(self.system, "stats", None)
         return RunResult(
             workload=spec.name,
@@ -408,8 +526,16 @@ def run_workload(
     budget_fraction: Optional[float],
     flush_tlb_on_scan: bool = True,
     proactive: bool = True,
+    execution: str = "per-op",
 ) -> RunResult:
-    """Convenience: build, load, run.  ``budget_fraction=None`` = baseline."""
+    """Convenience: build, load, run.  ``budget_fraction=None`` = baseline.
+
+    ``execution="batched"`` routes the load and run phases through the
+    fused batch paths — same simulated results, fewer wall seconds; the
+    sweep engine and the batch-speedup benchmark use it.
+    """
+    if execution not in ("per-op", "batched"):
+        raise ValueError(f"unknown execution mode: {execution!r}")
     if budget_fraction is None:
         sim, system = build_baseline(scale)
     else:
@@ -420,5 +546,8 @@ def run_workload(
             proactive=proactive,
         )
     runner = YCSBRunner(sim, system, scale, ordered=spec.scan_proportion > 0)
+    if execution == "batched":
+        runner.load_batched()
+        return runner.run_batched(spec)
     runner.load()
     return runner.run(spec)

@@ -17,7 +17,11 @@ Usage::
     python -m repro lint [paths...]           # project-specific static analysis
     python -m repro perf [--quick] [--out BENCH.json]
                          [--against BASELINE --max-regression 2.0]
+                         [--update-baseline [--force]]
                                               # simulator wall-clock benchmarks
+    python -m repro sweep [--jobs N] [--budgets-gb 2,6,10,14,18]
+                          [--grid GRID.json] [--out SWEEP.json]
+                                              # deterministic multi-process sweep
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
 asserts on, so the CLI and the test suite cannot drift apart.
@@ -70,6 +74,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "crashfind", "regenerates": "Crash-point exploration (durability at every boundary)"},
         {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
         {"command": "perf", "regenerates": "Simulator wall-clock benchmarks (BENCH.json)"},
+        {"command": "sweep", "regenerates": "Budget x skew x workload grid over a process pool (SWEEP.json)"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
     return 0
@@ -398,11 +403,94 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+#: The committed perf baseline ``repro perf --update-baseline`` rewrites.
+BENCH_BASELINE_PATH = "benchmarks/BENCH_baseline.json"
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import SweepError, SweepGrid, dumps, run_sweep
+
+    if args.grid:
+        grid = SweepGrid.from_file(args.grid)
+    else:
+        workloads = tuple(
+            spec.name for spec in _parse_workloads(args.workloads)
+        )
+        fractions: list = [] if args.no_baseline else [None]
+        for token in args.budgets_gb.split(","):
+            fractions.append(float(token) / PAPER_HEAP_GB)
+        grid = SweepGrid(
+            workloads=workloads,
+            budget_fractions=tuple(fractions),
+            thetas=tuple(
+                float(token) for token in args.thetas.split(",")
+            ),
+            seeds=tuple(int(token) for token in args.seeds.split(",")),
+            record_count=args.records,
+            operation_count=args.ops,
+        )
+    try:
+        report = run_sweep(
+            grid,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            progress=print if args.progress else None,
+        )
+    except KeyboardInterrupt:
+        print(
+            "sweep interrupted; partial results discarded",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        print(
+            f"partial results: {len(exc.partial)} of "
+            f"{len(grid.jobs())} job(s) completed "
+            f"(failed: {sorted(exc.failures)})",
+            file=sys.stderr,
+        )
+        return 1
+    rows = [
+        {
+            "workload": row["workload"],
+            "budget_gb": row["budget_gb"],
+            "theta": row["theta"],
+            "viyojit_kops": row["viyojit_kops"],
+            "nvdram_kops": row.get("nvdram_kops", "-"),
+            "overhead_pct": row.get("overhead_pct", "-"),
+        }
+        for row in report["tables"]["throughput_vs_budget"]
+    ]
+    if rows:
+        print(
+            format_table(
+                rows,
+                title=f"Budget sweep ({len(report['jobs'])} jobs, "
+                f"--jobs {args.jobs})",
+            )
+        )
+    print(f"sweep checksum: {report['checksum_sha256']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dumps(report, strip_wall=args.strip_wall))
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import compare_reports, run_suite
     from repro.perf.report import dumps
 
-    report = run_suite(quick=args.quick, repeats=args.repeats)
+    try:
+        report = run_suite(quick=args.quick, repeats=args.repeats)
+    except KeyboardInterrupt:
+        print(
+            "perf suite interrupted; partial results discarded",
+            file=sys.stderr,
+        )
+        return 130
     wall = report["wall"]
     rows = []
     for name, fields in wall["micro"].items():
@@ -423,10 +511,32 @@ def cmd_perf(args: argparse.Namespace) -> int:
         )
     mode = report["mode"]
     print(format_table(rows, title=f"Simulator wall-clock benchmarks ({mode})"))
+    for label, ratio in sorted(wall.get("speedups", {}).items()):
+        print(f"speedup {label}: {ratio:.3f}x")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(dumps(report))
         print(f"wrote {args.out}")
+    if args.update_baseline:
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        dirty = proc.returncode != 0 or bool(proc.stdout.strip())
+        if dirty and not args.force:
+            print(
+                "refusing to update baseline: git tree is dirty or "
+                "unreadable (commit first, or pass --force)",
+                file=sys.stderr,
+            )
+            return 1
+        with open(BENCH_BASELINE_PATH, "w", encoding="utf-8") as handle:
+            handle.write(dumps(report))
+        print(f"updated {BENCH_BASELINE_PATH}")
     if args.against:
         import json as json_mod
 
@@ -595,7 +705,48 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--max-regression", type=float, default=2.0,
                       help="fail (exit 1) when any benchmark's wall time "
                       "exceeds this multiple of the baseline (default 2.0)")
+    perf.add_argument("--update-baseline", action="store_true",
+                      help=f"rewrite {BENCH_BASELINE_PATH} from this run "
+                      "(refused on a dirty git tree)")
+    perf.add_argument("--force", action="store_true",
+                      help="update the baseline even on a dirty git tree")
     perf.set_defaults(func=cmd_perf)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="budget x skew x workload sweep over a deterministic "
+        "process pool; emits the checksummed SWEEP.json",
+    )
+    sweep.add_argument("--workloads", type=str, default="A",
+                       help="comma-separated YCSB workloads (default A)")
+    sweep.add_argument("--budgets-gb", type=str, default="2,6,10,14,18",
+                       help="comma-separated dirty budgets in paper GB "
+                       "(fractions of the 17.5 GB heap)")
+    sweep.add_argument("--no-baseline", action="store_true",
+                       help="skip the full-battery baseline jobs")
+    sweep.add_argument("--thetas", type=str, default="0.99",
+                       help="comma-separated zipfian thetas")
+    sweep.add_argument("--seeds", type=str, default="42",
+                       help="comma-separated workload seeds")
+    sweep.add_argument("--records", type=int, default=2_000,
+                       help="records per job (default 2000)")
+    sweep.add_argument("--ops", type=int, default=6_000,
+                       help="operations per job (default 6000)")
+    sweep.add_argument("--grid", type=str, default=None,
+                       help="JSON grid file overriding the flags above")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process serial)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in wall seconds")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="max retries per failed job (default 2)")
+    sweep.add_argument("--out", type=str, default=None,
+                       help="write SWEEP.json to this path")
+    sweep.add_argument("--strip-wall", action="store_true",
+                       help="write the deterministic view (no wall section)")
+    sweep.add_argument("--progress", action="store_true",
+                       help="print per-job progress lines")
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

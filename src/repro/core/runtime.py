@@ -388,6 +388,193 @@ class NVDRAMSystem:
             view = view[take:]
 
 
+    # -- batched data path ---------------------------------------------------
+
+    def run_ops(self, writes, addrs, payloads, verify: bool = True) -> None:
+        """Apply a batch of operations with one Python-level dispatch.
+
+        ``writes``/``addrs``/``payloads`` are parallel sequences: for a
+        write, ``payload`` is the bytes to store; for a read, the expected
+        read-back bytes (the durability oracle, compared unless ``verify``
+        is false).  Per element this replays exactly the fast/slow paths
+        of :meth:`read`/:meth:`write` — same TLB probes, same clock
+        charges, same drain points — so batching is wall-clock-only.  The
+        monkeypatch-off equivalence tests in ``tests/perf`` pin that.
+        """
+        if not self._started:
+            self._require_started()
+        region = self.region
+        region_bytes = self._region_bytes
+        page_size = self._page_size
+        mmu = self.mmu
+        hit = self._tlb_hit
+        hit_dirty = self._tlb_hit_dirty
+        clock = self._clock
+        events = self._events
+        drain = self._drain
+        dram_cost = self._dram_cost_ns
+        pages = self._region_pages
+        page_version = self._page_version
+        touch_read = self._touch_read
+        touch_write = self._touch_write
+        slow_read = self.read
+        slow_write = self.write
+        for is_write, addr, payload in zip(writes, addrs, payloads):
+            size = len(payload)
+            pfn = addr // page_size
+            offset = addr - pfn * page_size
+            if size == 0 or addr < 0 or offset + size > page_size:
+                # Empty, out-of-range, or page-spanning: the canonical
+                # per-op path handles validation and the multi-page walk.
+                if is_write:
+                    slow_write(addr, payload)
+                else:
+                    data = slow_read(addr, size)
+                    if verify and data != payload:
+                        raise AssertionError(
+                            f"read-back mismatch at address {addr}"
+                        )
+                continue
+            if is_write:
+                if addr + size > region_bytes:
+                    region.page_of(region_bytes)  # raises, like write()
+                if hit_dirty(pfn):
+                    mmu.write_accesses += 1
+                    clock._now += dram_cost
+                else:
+                    touch_write(pfn)
+                page = pages.get(pfn)
+                if page is None:
+                    page = pages[pfn] = bytearray(page_size)
+                page[offset : offset + size] = payload
+                page_version[pfn] += 1
+                if clock._now >= events.next_due_at:
+                    drain()
+            else:
+                if addr + size > region_bytes:
+                    slow_read(addr, size)  # raises, like read()
+                if hit(pfn):
+                    mmu.read_accesses += 1
+                    now = clock._now + dram_cost
+                    clock._now = now
+                    if now >= events.next_due_at:
+                        drain()
+                else:
+                    touch_read(pfn)
+                page = pages.get(pfn)
+                if verify:
+                    data = (
+                        bytes(size)
+                        if page is None
+                        else page[offset : offset + size]
+                    )
+                    if data != payload:
+                        raise AssertionError(
+                            f"read-back mismatch at address {addr}"
+                        )
+
+    def data_path(self) -> "DataPath":
+        """Fused single-page accessors for batched clients.
+
+        Returns closures that replay :meth:`read`/:meth:`write` exactly —
+        the closure bodies are the same fast paths with the attribute
+        chains resolved once at build time instead of per access.  Any
+        access the fast path cannot take verbatim (page-spanning,
+        out-of-range, empty) falls back to the canonical methods, so
+        the simulation cannot tell the difference.  Built per batch run,
+        after any test monkeypatching, so class-level deoptimizations
+        (``TLB.hit`` and friends) are honoured.
+        """
+        self._require_started()
+        region_bytes = self._region_bytes
+        page_size = self._page_size
+        mmu = self.mmu
+        hit = self._tlb_hit
+        hit_dirty = self._tlb_hit_dirty
+        clock = self._clock
+        events = self._events
+        drain = self._drain
+        dram_cost = self._dram_cost_ns
+        pages = self._region_pages
+        page_version = self._page_version
+        touch_read = self._touch_read
+        touch_write = self._touch_write
+        slow_read = self.read
+        slow_write = self.write
+
+        def write(addr: int, data: bytes) -> None:
+            size = len(data)
+            pfn = addr // page_size
+            offset = addr - pfn * page_size
+            if (
+                size == 0
+                or addr < 0
+                or offset + size > page_size
+                or addr + size > region_bytes
+            ):
+                slow_write(addr, data)
+                return
+            if hit_dirty(pfn):
+                mmu.write_accesses += 1
+                clock._now += dram_cost
+            else:
+                touch_write(pfn)
+            page = pages.get(pfn)
+            if page is None:
+                page = pages[pfn] = bytearray(page_size)
+            page[offset : offset + size] = data
+            page_version[pfn] += 1
+            if clock._now >= events.next_due_at:
+                drain()
+
+        def read_at(addr: int, size: int):
+            """Charge a read; return ``(buffer, offset)`` without copying.
+
+            ``buffer`` is the backing page (``None`` for a never-written
+            page, which reads as zeros) and ``offset`` the position of the
+            requested bytes within it.  Accesses the single-page fast path
+            cannot serve are routed through :meth:`NVDRAMSystem.read` and
+            returned as ``(bytes, 0)``.
+            """
+            pfn = addr // page_size
+            offset = addr - pfn * page_size
+            if (
+                size <= 0
+                or addr < 0
+                or offset + size > page_size
+                or addr + size > region_bytes
+            ):
+                return slow_read(addr, size), 0
+            if hit(pfn):
+                mmu.read_accesses += 1
+                now = clock._now + dram_cost
+                clock._now = now
+                if now >= events.next_due_at:
+                    drain()
+            else:
+                touch_read(pfn)
+            return pages.get(pfn), offset
+
+        def read(addr: int, size: int) -> bytes:
+            buffer, offset = read_at(addr, size)
+            if buffer is None:
+                return bytes(size)
+            return bytes(buffer[offset : offset + size])
+
+        return DataPath(read=read, write=write, read_at=read_at)
+
+
+class DataPath:
+    """Bound fast-path accessors from :meth:`NVDRAMSystem.data_path`."""
+
+    __slots__ = ("read", "write", "read_at")
+
+    def __init__(self, read, write, read_at) -> None:
+        self.read = read
+        self.write = write
+        self.read_at = read_at
+
+
 class FullBatteryNVDRAM(NVDRAMSystem):
     """Baseline: conventional NV-DRAM with a battery for the whole region.
 

@@ -31,6 +31,12 @@ class PageTable:
         # recency tracking without losing dirty-page information.
         self.shadow_dirty = np.zeros(self.num_pages, dtype=bool)
         self.walks = 0
+        # Cached popcounts of the two dirty columns, maintained by the
+        # mutators below so hot-path callers never pay an O(num_pages)
+        # reduction.  Invariant (hypothesis-tested):
+        # _dirty_count == count_nonzero(dirty), likewise for shadow.
+        self._dirty_count = 0
+        self._shadow_count = 0
 
     def _check(self, pfn: int) -> None:
         if not 0 <= pfn < self.num_pages:
@@ -68,8 +74,22 @@ class PageTable:
     def set_dirty(self, pfn: int) -> None:
         """Hardware behaviour on a write through a clean translation."""
         self._check(pfn)
-        self.dirty[pfn] = True
-        self.shadow_dirty[pfn] = True
+        if not self.dirty[pfn]:
+            self.dirty[pfn] = True
+            self._dirty_count += 1
+        if not self.shadow_dirty[pfn]:
+            self.shadow_dirty[pfn] = True
+            self._shadow_count += 1
+
+    @property
+    def dirty_count(self) -> int:
+        """Pages with the architectural dirty bit set, in O(1)."""
+        return self._dirty_count
+
+    @property
+    def shadow_dirty_count(self) -> int:
+        """Pages with the shadow dirty bit set (section 5.4), in O(1)."""
+        return self._shadow_count
 
     def is_dirty(self, pfn: int) -> bool:
         self._check(pfn)
@@ -85,8 +105,11 @@ class PageTable:
         self.walks += 1
         updated = np.flatnonzero(self.dirty)
         self.dirty[:] = False
+        self._dirty_count = 0
         return updated
 
     def clear_shadow(self, pfn: int) -> None:
         self._check(pfn)
-        self.shadow_dirty[pfn] = False
+        if self.shadow_dirty[pfn]:
+            self.shadow_dirty[pfn] = False
+            self._shadow_count -= 1

@@ -1,0 +1,219 @@
+"""Deterministic sweep scheduler.
+
+Fans a :class:`~repro.parallel.grid.SweepGrid` out over a
+``ProcessPoolExecutor``.  Determinism does not come from scheduling —
+jobs complete in any order, workers die and are replaced — it comes from
+the jobs themselves: each is a pure function of its descriptor, and the
+merge keys results by job index.  The engine's contract is only
+*completeness*: every job's payload ends up in the report, or a
+:class:`SweepError` carrying the partial results is raised.
+
+Failure handling:
+
+* a job raising (timeout, simulation error) is retried up to
+  ``max_retries`` times, then recorded as failed;
+* a worker process dying (``BrokenProcessPool``) poisons the whole pool,
+  so the pool is rebuilt and every unfinished job is resubmitted, with
+  one attempt charged to each — bounding a perpetually-crashing job to
+  ``max_retries + 1`` pool rebuilds;
+* ``jobs=1`` runs everything in-process (no pool, no pickling), which is
+  also the graceful fallback for environments without working
+  multiprocessing.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional
+
+from repro.parallel.grid import SweepGrid, SweepJob
+from repro.parallel.report import build_sweep_report
+from repro.parallel.worker import pool_run_job, run_sweep_job
+from repro.perf.timer import best_of
+
+Progress = Optional[Callable[[str], None]]
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete; carries the partial results."""
+
+    def __init__(
+        self,
+        message: str,
+        partial: Dict[int, dict],
+        failures: Dict[int, str],
+    ) -> None:
+        super().__init__(message)
+        self.partial = partial
+        self.failures = failures
+
+
+def _notify(progress: Progress, message: str) -> None:
+    if progress is not None:
+        progress(message)
+
+
+def _run_serial(
+    jobs: List[SweepJob],
+    max_retries: int,
+    progress: Progress,
+    retries: List[int],
+) -> Dict[int, dict]:
+    results: Dict[int, dict] = {}
+    failures: Dict[int, str] = {}
+    for job in jobs:
+        for attempt in range(max_retries + 1):
+            try:
+                results[job.index] = run_sweep_job(job)
+                break
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                retries[0] += 1
+                if attempt == max_retries:
+                    failures[job.index] = repr(exc)
+                else:
+                    _notify(
+                        progress,
+                        f"job {job.index} failed ({exc!r}); retrying",
+                    )
+        if job.index in results:
+            _notify(
+                progress,
+                f"job {job.index} done "
+                f"({len(results)}/{len(jobs)} complete)",
+            )
+    if failures:
+        raise SweepError(
+            f"{len(failures)} of {len(jobs)} jobs failed: "
+            f"{sorted(failures)}",
+            partial=results,
+            failures=failures,
+        )
+    return results
+
+
+def _run_pool(
+    jobs: List[SweepJob],
+    workers: int,
+    max_retries: int,
+    progress: Progress,
+    retries: List[int],
+) -> Dict[int, dict]:
+    by_index = {job.index: job for job in jobs}
+    pending = sorted(by_index)
+    attempts = {index: 0 for index in pending}
+    results: Dict[int, dict] = {}
+    failures: Dict[int, str] = {}
+
+    while pending:
+        resubmit: List[int] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(pool_run_job, by_index[index]): index
+                for index in pending
+            }
+            not_done = set(futures)
+            broken = False
+            while not_done and not broken:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        payload = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - job boundary
+                        attempts[index] += 1
+                        retries[0] += 1
+                        if attempts[index] > max_retries:
+                            failures[index] = repr(exc)
+                        else:
+                            resubmit.append(index)
+                            _notify(
+                                progress,
+                                f"job {index} failed ({exc!r}); retrying",
+                            )
+                        continue
+                    results[index] = payload
+                    _notify(
+                        progress,
+                        f"job {index} done "
+                        f"({len(results)}/{len(jobs)} complete)",
+                    )
+            if broken:
+                # The pool is poisoned: harvest whatever finished before
+                # the breakage, charge one attempt to every other
+                # unfinished job, and rebuild.
+                _notify(progress, "worker process died; rebuilding pool")
+                for future, index in futures.items():
+                    if (
+                        index in results
+                        or index in failures
+                        or index in resubmit
+                    ):
+                        continue
+                    if future.done() and future.exception() is None:
+                        results[index] = future.result()
+                        continue
+                    attempts[index] += 1
+                    retries[0] += 1
+                    if attempts[index] > max_retries:
+                        failures[index] = "worker process died"
+                    else:
+                        resubmit.append(index)
+        pending = sorted(resubmit)
+
+    if failures:
+        raise SweepError(
+            f"{len(failures)} of {len(jobs)} jobs failed: "
+            f"{sorted(failures)}",
+            partial=results,
+            failures=failures,
+        )
+    return results
+
+
+def run_sweep(
+    grid: SweepGrid,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    progress: Progress = None,
+    _job_overrides: Optional[Dict[int, SweepJob]] = None,
+) -> dict:
+    """Run every job of ``grid`` and return the merged sweep report.
+
+    The report's deterministic view (everything outside ``wall``) is
+    byte-identical for any ``jobs`` count.  ``_job_overrides`` lets the
+    fault tests substitute doctored job descriptors (kill hooks) without
+    widening the public surface.
+    """
+    if jobs <= 0:
+        raise ValueError(f"jobs must be positive: {jobs}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative: {max_retries}")
+    job_list = list(grid.jobs(timeout_s=timeout_s))
+    if _job_overrides:
+        job_list = [
+            _job_overrides.get(job.index, job) for job in job_list
+        ]
+    holder: Dict[int, Dict[int, dict]] = {}
+    retries = [0]
+
+    def one_pass() -> None:
+        if jobs == 1:
+            holder[0] = _run_serial(job_list, max_retries, progress, retries)
+        else:
+            holder[0] = _run_pool(
+                job_list, jobs, max_retries, progress, retries
+            )
+
+    total_wall_s = best_of(1, one_pass)
+    return build_sweep_report(
+        grid,
+        holder[0],
+        workers=jobs,
+        total_wall_s=total_wall_s,
+        retries=retries[0],
+    )

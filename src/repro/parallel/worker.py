@@ -1,0 +1,134 @@
+"""Sweep worker: one self-contained job, executed from scratch.
+
+:func:`run_sweep_job` is the module-level (picklable) entry point the
+engine submits to its process pool; it rebuilds the full simulation from
+the job's seed and runs it over the batched execution path.  Every
+simulated quantity in the returned payload is a pure function of the
+job, so a retried or re-scheduled job produces the identical payload —
+the foundation of the sweep's cross-``--jobs`` byte-identity.  Wall time
+is measured through :func:`repro.perf.timer.best_of` (the sanctioned
+wall-clock site) and reported separately.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Dict, Optional
+
+from repro.bench.runner import ExperimentScale, RunResult, run_workload
+from repro.parallel.grid import SweepJob
+from repro.perf.timer import best_of
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+
+class SweepTimeout(RuntimeError):
+    """A job exceeded its per-job timeout."""
+
+
+def _result_payload(result: RunResult) -> Dict[str, object]:
+    """The deterministic (simulated-only) view of one run."""
+    stats = None
+    if result.viyojit_stats is not None:
+        stats = {
+            key: value
+            for key, value in result.viyojit_stats.items()
+            if key != "dirty_samples"
+        }
+    return {
+        "system_kind": result.system_kind,
+        "budget_pages": result.budget_pages,
+        "ops_executed": result.ops_executed,
+        "sim_elapsed_ns": result.elapsed_ns,
+        "throughput_kops": round(result.throughput_kops, 3),
+        "ssd_bytes_written": result.ssd_bytes_written,
+        "avg_write_rate_mb_s": round(result.avg_write_rate_mb_s, 3),
+        "latency_ms": {
+            kind: {
+                "count": summary.count,
+                "avg_ms": round(summary.avg_ms, 6),
+                "p99_ms": round(summary.p99_ms, 6),
+            }
+            for kind, summary in sorted(result.latency.items())
+        },
+        "viyojit_stats": stats,
+    }
+
+
+def _maybe_kill_once(job: SweepJob) -> None:
+    """Fault hook: die hard on the first attempt, marked by a touch-file.
+
+    Creating the marker *before* the kill means the retry finds it and
+    proceeds normally — exactly one induced crash per marker path.
+    """
+    path = job.fault_kill_once_path
+    if path is None or os.path.exists(path):
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"killed job {job.index}\n")
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_sweep_job(job: SweepJob, in_worker: bool = False) -> Dict[str, object]:
+    """Run one sweep job and return its mergeable payload.
+
+    ``in_worker`` is set by the pool entry point: the SIGKILL fault hook
+    and the SIGALRM timeout only arm inside a sacrificial worker process
+    (or, for the timeout, the main thread of a serial run).
+    """
+    if in_worker:
+        _maybe_kill_once(job)
+    spec = YCSB_WORKLOADS[job.workload]
+    scale = ExperimentScale(
+        record_count=job.record_count,
+        operation_count=job.operation_count,
+        zipf_theta=job.theta,
+        seed=job.seed,
+    )
+    alarmed = _arm_timeout(job)
+    try:
+        holder: Dict[str, RunResult] = {}
+
+        def one_pass() -> None:
+            holder["result"] = run_workload(
+                spec, scale, job.budget_fraction, execution="batched"
+            )
+
+        wall_s = best_of(1, one_pass)
+    finally:
+        if alarmed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+    return {
+        "job": job.as_dict(),
+        "result": _result_payload(holder["result"]),
+        "wall_s": wall_s,
+    }
+
+
+def _arm_timeout(job: SweepJob) -> bool:
+    """Arm a SIGALRM-based per-job timeout; returns whether armed.
+
+    Signals only work on the main thread, which is where both pool
+    workers and the serial fallback run jobs.
+    """
+    timeout = job.timeout_s
+    if timeout is None or timeout <= 0:
+        return False
+    if threading.current_thread() is not threading.main_thread():
+        return False
+
+    def _on_alarm(signum: int, frame: Optional[object]) -> None:
+        raise SweepTimeout(
+            f"job {job.index} ({job.workload}) exceeded {timeout}s"
+        )
+
+    signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    return True
+
+
+def pool_run_job(job: SweepJob) -> Dict[str, object]:
+    """Process-pool entry point (arms the worker-only fault hooks)."""
+    return run_sweep_job(job, in_worker=True)

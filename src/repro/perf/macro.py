@@ -1,21 +1,31 @@
-"""Macro benchmark: the YCSB-zipfian workload, end to end.
+"""Macro benchmarks: the YCSB-zipfian workload and the sweep engine.
 
 Replays the same YCSB-A (zipfian) run the figure regenerators use,
 against both systems — ``Viyojit`` at the paper's 11%-of-heap budget
-point and the ``FullBatteryNVDRAM`` baseline — and reports how fast the
-*simulator* executes each.  The simulated results (throughput in
-simulated time, fault counts, flushed bytes) land in the deterministic
-``sim`` section; wall seconds are measured separately with the same
-best-of-N protocol as the micro suite.
+point and the ``FullBatteryNVDRAM`` baseline — through both execution
+paths (per-op and batched), and reports how fast the *simulator*
+executes each.  The ``*_batched`` variants' ``sim`` sections are
+byte-identical to their per-op twins — the report itself re-states the
+batching-is-wall-clock-only invariant.  Two further benches time a small
+budget sweep at ``--jobs 1`` and ``--jobs 2``; their ``sim`` sections
+carry the sweep checksum, which must also agree.
+
+The simulated results land in the deterministic ``sim`` section; wall
+seconds are measured separately with the same best-of-N protocol as the
+micro suite, and the headline ratios (batched vs. per-op, 2 workers
+vs. 1) are summarized under ``wall.speedups``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.bench.runner import ExperimentScale, RunResult, run_workload
 from repro.workloads.ycsb import YCSB_A
+
+if TYPE_CHECKING:  # runtime import is deferred: repro.parallel measures
+    from repro.parallel.grid import SweepGrid  # its wall time via repro.perf
 
 #: The paper's 2 GB-battery point on the 17.5 GB heap axis.
 BUDGET_FRACTION = 0.175
@@ -49,30 +59,71 @@ def _sim_section(result: RunResult) -> Dict[str, object]:
 
 
 def macro_benches(quick: bool) -> List[MacroBench]:
-    """Viyojit and the full-battery baseline at one YCSB-A scale."""
+    """Both systems x both execution paths, plus the sweep scaling pair."""
     scale = ExperimentScale(
         record_count=1_500 if quick else 2_000,
         operation_count=4_000 if quick else 16_000,
     )
     benches = []
-    for name, budget in (
-        ("viyojit", BUDGET_FRACTION),
-        ("nvdram", None),
+    for name, budget, execution in (
+        ("viyojit", BUDGET_FRACTION, "per-op"),
+        ("viyojit_batched", BUDGET_FRACTION, "batched"),
+        ("nvdram", None, "per-op"),
+        ("nvdram_batched", None, "batched"),
     ):
-        benches.append(_one_config(name, scale, budget))
+        benches.append(_one_config(name, scale, budget, execution))
+    grid = _sweep_grid(quick)
+    for workers in (1, 2):
+        benches.append(_sweep_config(f"sweep_jobs{workers}", grid, workers))
     return benches
 
 
 def _one_config(
-    name: str, scale: ExperimentScale, budget: Optional[float]
+    name: str,
+    scale: ExperimentScale,
+    budget: Optional[float],
+    execution: str,
 ) -> MacroBench:
     def one_pass() -> RunResult:
-        return run_workload(YCSB_A, scale, budget)
+        return run_workload(YCSB_A, scale, budget, execution=execution)
 
     result = one_pass()
     return MacroBench(
         name=name,
         units=result.ops_executed,
         sim=_sim_section(result),
+        one_pass=one_pass,
+    )
+
+
+def _sweep_grid(quick: bool) -> "SweepGrid":
+    """The scaling-bench grid: four equal-cost YCSB-A budget points."""
+    from repro.parallel.grid import SweepGrid
+
+    return SweepGrid(
+        workloads=("YCSB-A",),
+        budget_fractions=(0.11, 0.23, 0.46, 0.69),
+        record_count=1_000 if quick else 1_500,
+        operation_count=3_000 if quick else 8_000,
+    )
+
+
+def _sweep_config(name: str, grid: "SweepGrid", workers: int) -> MacroBench:
+    from repro.parallel.engine import run_sweep
+
+    def one_pass() -> dict:
+        return run_sweep(grid, jobs=workers)
+
+    report = one_pass()
+    units = sum(
+        entry["result"]["ops_executed"] for entry in report["jobs"]
+    )
+    return MacroBench(
+        name=name,
+        units=units,
+        sim={
+            "sweep_checksum_sha256": report["checksum_sha256"],
+            "jobs": len(report["jobs"]),
+        },
         one_pass=one_pass,
     )

@@ -12,9 +12,13 @@ Report layout (``SCHEMA_VERSION`` guards it)::
         "repeats": N,
         "micro": { name: {"units": U, "unit": "...", "wall_s": S,
                           "per_sec": U/S} },
-        "macro": { name: {"units": U, "wall_s": S, "ops_per_sec": U/S} }
+        "macro": { name: {"units": U, "wall_s": S, "ops_per_sec": U/S} },
+        "speedups": { "ycsb_a_batched_vs_per_op": R, ... }
       }
     }
+
+Schema history: v2 added the batched/sweep macro benches and
+``wall.speedups``.
 
 Everything outside ``wall`` is a pure function of the simulation: two
 runs of the same tree produce byte-identical text once the ``wall`` key
@@ -29,7 +33,16 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Tuple
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: ``wall.speedups`` entries: label -> (numerator bench, denominator bench);
+#: the ratio is numerator's wall seconds over denominator's, i.e. how many
+#: times faster the denominator configuration ran.
+SPEEDUP_PAIRS = {
+    "ycsb_a_batched_vs_per_op": ("viyojit", "viyojit_batched"),
+    "ycsb_a_nvdram_batched_vs_per_op": ("nvdram", "nvdram_batched"),
+    "sweep_jobs2_vs_jobs1": ("sweep_jobs1", "sweep_jobs2"),
+}
 
 
 def build_report(
@@ -73,6 +86,12 @@ def build_report(
             },
         },
     }
+    macro_walls = {name: wall_s for name, _units, _sim, wall_s in macro}
+    speedups = {}
+    for label, (slow, fast) in SPEEDUP_PAIRS.items():
+        if slow in macro_walls and fast in macro_walls and macro_walls[fast] > 0:
+            speedups[label] = round(macro_walls[slow] / macro_walls[fast], 3)
+    report["wall"]["speedups"] = speedups  # type: ignore[index]
     return report
 
 

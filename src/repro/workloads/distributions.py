@@ -15,7 +15,7 @@ from __future__ import annotations
 import random
 import numpy as np
 
-from repro.kvstore.store import fnv1a
+from repro.kvstore.hashing import fnv1a, fnv1a_le8
 
 ZIPFIAN_CONSTANT = 0.99
 
@@ -105,12 +105,7 @@ class ScrambledZipfianGenerator:
 
     def sample(self, count: int) -> np.ndarray:
         ranks = self._zipf.sample(count)
-        hashed = np.fromiter(
-            (fnv1a(int(r).to_bytes(8, "little")) for r in ranks),
-            dtype=np.uint64,
-            count=len(ranks),
-        )
-        return (hashed % np.uint64(self.items)).astype(np.int64)
+        return (fnv1a_le8(ranks) % np.uint64(self.items)).astype(np.int64)
 
 
 class LatestGenerator:
@@ -131,6 +126,11 @@ class LatestGenerator:
     def next(self) -> int:
         rank = self._zipf.next()
         return max(0, self.items - 1 - rank)
+
+    def sample(self, count: int) -> np.ndarray:
+        """Vectorized batch of draws (same RNG stream as ``next``)."""
+        ranks = self._zipf.sample(count)
+        return np.maximum(0, np.int64(self.items - 1) - ranks)
 
 
 class UniformGenerator:

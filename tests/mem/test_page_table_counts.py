@@ -1,0 +1,65 @@
+"""Cached dirty-bit popcounts stay equivalent to recomputation (S2).
+
+``PageTable.dirty_count`` / ``shadow_dirty_count`` are maintained
+incrementally by the three mutators; hypothesis drives arbitrary
+interleavings of them and checks the caches against a fresh
+``np.count_nonzero`` after every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.page_table import PageTable
+
+NUM_PAGES = 24
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set_dirty"), st.integers(0, NUM_PAGES - 1)),
+        st.tuples(st.just("clear_shadow"), st.integers(0, NUM_PAGES - 1)),
+        st.tuples(st.just("scan"), st.just(0)),
+    ),
+    max_size=200,
+)
+
+
+def _assert_counts_match(table: PageTable) -> None:
+    assert table.dirty_count == int(np.count_nonzero(table.dirty))
+    assert table.shadow_dirty_count == int(
+        np.count_nonzero(table.shadow_dirty)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(_ops)
+def test_cached_counts_equal_recomputed(ops):
+    table = PageTable(NUM_PAGES)
+    _assert_counts_match(table)
+    for name, pfn in ops:
+        if name == "set_dirty":
+            table.set_dirty(pfn)
+        elif name == "clear_shadow":
+            table.clear_shadow(pfn)
+        else:
+            table.scan_and_clear_dirty()
+        _assert_counts_match(table)
+
+
+def test_counts_start_at_zero_and_track_duplicates():
+    table = PageTable(8)
+    assert table.dirty_count == 0
+    table.set_dirty(3)
+    table.set_dirty(3)  # idempotent: no double count
+    assert table.dirty_count == 1
+    assert table.shadow_dirty_count == 1
+    table.set_dirty(5)
+    assert table.dirty_count == 2
+    table.scan_and_clear_dirty()
+    assert table.dirty_count == 0
+    assert table.shadow_dirty_count == 2  # shadow survives the scan
+    table.clear_shadow(3)
+    table.clear_shadow(3)  # idempotent: no negative count
+    assert table.shadow_dirty_count == 1

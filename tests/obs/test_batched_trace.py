@@ -1,0 +1,48 @@
+"""Batched trace replay is byte-identical to the per-op replay.
+
+The golden-trace fixtures pin the per-op event stream; this module pins
+that routing the same workload through ``NVDRAMSystem.run_ops`` changes
+nothing observable — not the event log, not the metrics snapshot, not
+the substrate counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.harness import (
+    SYSTEM_KINDS,
+    TraceWorkload,
+    iter_op_batches,
+    iter_workload_ops,
+    run_traced_workload,
+)
+
+PAGE_SIZE = 4096
+
+
+@pytest.mark.parametrize("batch_size", [1, 3, 64, 1_000])
+def test_op_batches_flatten_to_workload_ops(batch_size):
+    spec = TraceWorkload()
+    expected = list(iter_workload_ops(spec, PAGE_SIZE))
+    actual = []
+    for batch in iter_op_batches(spec, PAGE_SIZE, batch_size=batch_size):
+        actual.extend(batch.workload_ops())
+    assert actual == expected
+
+
+@pytest.mark.parametrize("system", SYSTEM_KINDS)
+def test_batched_trace_dump_is_byte_identical(system):
+    spec = TraceWorkload(system=system)
+    per_op = run_traced_workload(spec, batched=False)
+    batched = run_traced_workload(spec, batched=True)
+    assert json.dumps(per_op, sort_keys=True) == json.dumps(
+        batched, sort_keys=True
+    )
+
+
+def test_batch_size_validated():
+    with pytest.raises(ValueError, match="batch_size"):
+        next(iter_op_batches(TraceWorkload(), PAGE_SIZE, batch_size=0))

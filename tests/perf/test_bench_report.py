@@ -33,7 +33,39 @@ class TestSchema:
             "flusher_throughput",
             "tlb_hot_path",
         }
-        assert set(report["macro"]) == {"viyojit", "nvdram"}
+        assert set(report["macro"]) == {
+            "viyojit",
+            "viyojit_batched",
+            "nvdram",
+            "nvdram_batched",
+            "sweep_jobs1",
+            "sweep_jobs2",
+        }
+
+    def test_batched_macro_sims_equal_per_op(self, quick_reports):
+        report, _ = quick_reports
+        assert report["macro"]["viyojit_batched"] == report["macro"]["viyojit"]
+        assert report["macro"]["nvdram_batched"] == report["macro"]["nvdram"]
+
+    def test_sweep_pair_agrees_on_checksum(self, quick_reports):
+        report, _ = quick_reports
+        one, two = (
+            report["macro"]["sweep_jobs1"],
+            report["macro"]["sweep_jobs2"],
+        )
+        assert one["sweep_checksum_sha256"] == two["sweep_checksum_sha256"]
+        assert one["jobs"] == two["jobs"] == 4
+
+    def test_speedup_ratios_recorded(self, quick_reports):
+        report, _ = quick_reports
+        speedups = report["wall"]["speedups"]
+        assert set(speedups) == {
+            "ycsb_a_batched_vs_per_op",
+            "ycsb_a_nvdram_batched_vs_per_op",
+            "sweep_jobs2_vs_jobs1",
+        }
+        for ratio in speedups.values():
+            assert ratio > 0
 
     def test_wall_fields_named_wall_s(self, quick_reports):
         report, _ = quick_reports
