@@ -115,14 +115,35 @@ class UpdateHistory:
         Ordered oldest-update first; ties broken by ascending update count
         (less write-popular first), then by page number for determinism.
         Updates older than the window rank as never-observed.
+
+        The three lexicographic keys pack into one int64 composite —
+        ``counts`` is bounded by the 64-epoch window and ``pfn`` by the
+        region size, so ascending composite order IS ascending
+        ``(last, counts, pfn)`` order — which lets an ``argpartition``
+        isolate the top ``k`` before the full sort.  Victim ranking runs
+        at every epoch boundary over every dirty candidate; partitioning
+        first makes the per-epoch cost O(n + k log k) instead of
+        O(n log n).
         """
         pfns = self._as_pfn_array(candidates)
         if len(pfns) == 0 or k <= 0:
             return []
         last, counts = self._ranking_keys(pfns)
-        # lexsort keys: last key is primary.
-        order = np.lexsort((pfns, counts, last))
-        return [int(p) for p in pfns[order[: min(k, len(pfns))]]]
+        k = min(k, len(pfns))
+        # last < epoch and counts <= 64; numpy wraps int64 overflow
+        # silently, so bound the composite in exact Python arithmetic
+        # first and fall back to the three-key lexsort if it could wrap
+        # (only reachable after ~2^56 epochs).
+        if (self.epoch + 2) * 65 * self.num_pages >= 2**62:
+            order = np.lexsort((pfns, counts, last))
+            return [int(p) for p in pfns[order[:k]]]
+        composite = ((last + 1) * 65 + counts) * self.num_pages + pfns
+        if k < len(pfns):
+            top = np.argpartition(composite, k - 1)[:k]
+            top = top[np.argsort(composite[top])]
+        else:
+            top = np.argsort(composite)
+        return [int(p) for p in pfns[top]]
 
     def hottest(self, candidates: Union[np.ndarray, Iterable[int]], k: int) -> List[int]:
         """The ``k`` most-recently-updated pages (diagnostics / tests)."""

@@ -1,0 +1,83 @@
+"""Memory-kernel selection: ``REPRO_KERNEL=soa|object``.
+
+Two behaviourally identical implementations of the memory substrate's
+stateful classes coexist in this package:
+
+``object`` (the default)
+    :class:`repro.mem.page_table.PageTable` and :class:`repro.mem.tlb.TLB`
+    — one numpy bool column per PTE bit, an ordered dict for LRU.
+
+``soa``
+    :class:`repro.mem.soa.SoAPageTable` and :class:`repro.mem.soa.SoATLB`
+    — packed flag bits, int-array probe tables, vectorized eviction.
+
+Construction sites go through the factories below so the environment
+variable picks the kernel process-wide; both classes stay importable
+regardless of the setting, which is what the differential-equivalence
+harness in ``tests/mem`` relies on to run them side by side.  The MMU is
+kernel-agnostic (pure logic over the page-table/TLB API), so
+:func:`make_mmu` only chooses between the software and hardware-assisted
+variants.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.mem.machine import MachineModel
+from repro.mem.mmu import MMU, HardwareAssistedMMU
+from repro.mem.page_table import PageTable
+from repro.mem.soa import SoAPageTable, SoATLB
+from repro.mem.tlb import TLB
+
+#: Valid values of the ``REPRO_KERNEL`` environment variable.
+KERNELS = ("object", "soa")
+
+AnyPageTable = Union[PageTable, SoAPageTable]
+AnyTLB = Union[TLB, SoATLB]
+
+
+def kernel_name() -> str:
+    """The active kernel, resolved from ``REPRO_KERNEL`` at call time.
+
+    Resolved per call rather than cached at import so test harnesses can
+    flip kernels with ``monkeypatch.setenv`` between constructions.
+    """
+    name = os.environ.get("REPRO_KERNEL", "object")
+    if name not in KERNELS:
+        raise ValueError(
+            f"REPRO_KERNEL must be one of {KERNELS}: {name!r}"
+        )
+    return name
+
+
+def make_page_table(num_pages: int, kernel: str | None = None) -> AnyPageTable:
+    """Page table of the requested (or environment-selected) kernel."""
+    name = kernel if kernel is not None else kernel_name()
+    if name == "soa":
+        return SoAPageTable(num_pages)
+    if name == "object":
+        return PageTable(num_pages)
+    raise ValueError(f"unknown kernel: {name!r}")
+
+
+def make_tlb(num_pages: int, capacity: int, kernel: str | None = None) -> AnyTLB:
+    """TLB of the requested (or environment-selected) kernel."""
+    name = kernel if kernel is not None else kernel_name()
+    if name == "soa":
+        return SoATLB(num_pages, capacity)
+    if name == "object":
+        return TLB(num_pages, capacity)
+    raise ValueError(f"unknown kernel: {name!r}")
+
+
+def make_mmu(
+    page_table: AnyPageTable,
+    tlb: AnyTLB,
+    machine: MachineModel,
+    hardware: bool = False,
+) -> MMU:
+    """MMU over the given substrate pair; hardware-assisted on request."""
+    cls = HardwareAssistedMMU if hardware else MMU
+    return cls(page_table, tlb, machine)

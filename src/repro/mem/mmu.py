@@ -253,7 +253,7 @@ class HardwareAssistedMMU(MMU):
             return AccessOutcome(cost_ns=cost, faulted=True)
         newly_dirtied = False
         if not self.tlb.dirty_cached(pfn):
-            first_time_dirty = not self.page_table.shadow_dirty[pfn]
+            first_time_dirty = not self.page_table.is_shadow_dirty(pfn)
             if first_time_dirty and self.on_new_dirty is not None:
                 self.on_new_dirty(pfn)
             self.page_table.set_dirty(pfn)
@@ -282,7 +282,7 @@ class HardwareAssistedMMU(MMU):
                 self.tracer.emit(WriteFault(t=self.tracer.now(), pfn=pfn))
             return -cost - 1
         if not self.tlb.dirty_cached(pfn):
-            first_time_dirty = not self.page_table.shadow_dirty[pfn]
+            first_time_dirty = not self.page_table.is_shadow_dirty(pfn)
             if first_time_dirty and self.on_new_dirty is not None:
                 self.on_new_dirty(pfn)
             self.page_table.set_dirty(pfn)
@@ -300,6 +300,6 @@ class HardwareAssistedMMU(MMU):
 
     def page_cleaned(self, pfn: int) -> None:
         """OS notification that a page was flushed: decrement the counter."""
-        if self.page_table.shadow_dirty[pfn]:
+        if self.page_table.is_shadow_dirty(pfn):
             self.page_table.clear_shadow(pfn)
             self.dirty_counter -= 1

@@ -95,6 +95,10 @@ class PageTable:
         self._check(pfn)
         return bool(self.dirty[pfn])
 
+    def is_shadow_dirty(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.shadow_dirty[pfn])
+
     def scan_and_clear_dirty(self) -> np.ndarray:
         """One epoch-boundary page-table walk.
 

@@ -1,0 +1,356 @@
+"""Struct-of-arrays memory kernel: packed PTE bits + int-array TLB.
+
+This module is the ``REPRO_KERNEL=soa`` implementation of the two stateful
+memory-substrate classes.  It is behaviourally *identical* to the object
+kernel (:mod:`repro.mem.page_table`, :mod:`repro.mem.tlb`) — same public
+API, same counters, same eviction choices, same exceptions with the same
+messages — but lays its state out as parallel arrays:
+
+:class:`SoAPageTable`
+    One ``uint8`` flags array holds write-protect, dirty, and shadow-dirty
+    bits per page (bits 0/1/2).  The epoch scan is a single masked vector
+    op over the dirty bit column; ``protect_all``/``unprotect_all`` are
+    in-place bit-ops over the whole array.  The boolean columns the object
+    kernel exposes (``write_protected``/``dirty``/``shadow_dirty``) remain
+    available as computed read-only views so the sanitizer cross-checks
+    and diagnostics run unchanged.
+
+:class:`SoATLB`
+    Exact LRU over ``capacity`` slots, with the probe tables as int
+    arrays: ``page -> slot`` and ``page -> resident-and-dirty`` live in
+    plain Python int lists (the cheapest scalar access CPython offers, an
+    order of magnitude cheaper than dict probes), while the per-slot
+    last-touch stamps live in a numpy ``int64`` array so the LRU victim at
+    capacity is one vectorized ``argmin`` instead of ordered-dict
+    bookkeeping on every touch.  A strictly increasing stamp counter makes
+    the argmin victim exactly the least-recently-touched entry — the same
+    page the object kernel's ``OrderedDict.popitem(last=False)`` evicts,
+    which the differential harness in ``tests/mem`` pins step-for-step.
+
+The MMU classes are deliberately *not* duplicated here: :class:`repro.mem.
+mmu.MMU` and :class:`~repro.mem.mmu.HardwareAssistedMMU` are pure logic
+over the page-table/TLB API and run unchanged on either kernel.  Keeping
+one MMU is what makes byte-identical behaviour a matter of two small
+state classes rather than a parallel copy of the fault-handling flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs.events import TLBFlush
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+#: Bit layout of :attr:`SoAPageTable.flags`.
+WP_BIT = 0x01
+DIRTY_BIT = 0x02
+SHADOW_BIT = 0x04
+
+_CLEAR_DIRTY = np.uint8(0xFF ^ DIRTY_BIT)
+
+
+class SoAPageTable:
+    """Architectural per-page state packed into one flags array.
+
+    Drop-in replacement for :class:`repro.mem.page_table.PageTable`:
+    identical methods, counters, and error messages.  The three boolean
+    columns are bits of ``self.flags`` (``uint8``); the cached popcounts
+    are maintained by the mutators exactly like the object kernel's.
+    """
+
+    def __init__(self, num_pages: int) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive: {num_pages}")
+        self.num_pages = int(num_pages)
+        # Startup state matches the object kernel: every page protected,
+        # nothing dirty.  The array is mutated strictly in place so
+        # aliases taken by hot paths stay valid for the table's lifetime.
+        self.flags = np.full(self.num_pages, WP_BIT, dtype=np.uint8)
+        self.walks = 0
+        self._dirty_count = 0
+        self._shadow_count = 0
+
+    def _check(self, pfn: int) -> None:
+        if not 0 <= pfn < self.num_pages:
+            raise IndexError(f"page frame {pfn} out of range [0, {self.num_pages})")
+
+    # -- compatibility views ----------------------------------------------
+    #
+    # Read-only computed columns: the sanitizer reduces over ``.dirty``
+    # and tests inspect all three.  Mutation goes through the methods, so
+    # handing out fresh boolean arrays is safe.
+
+    @property
+    def write_protected(self) -> np.ndarray:
+        return (self.flags & WP_BIT) != 0
+
+    @property
+    def dirty(self) -> np.ndarray:
+        return (self.flags & DIRTY_BIT) != 0
+
+    @property
+    def shadow_dirty(self) -> np.ndarray:
+        return (self.flags & SHADOW_BIT) != 0
+
+    # -- write protection ------------------------------------------------
+
+    def is_write_protected(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.flags[pfn] & WP_BIT)
+
+    def protect(self, pfn: int) -> None:
+        """Set the write-protect bit (step 1 / step 6 of the paper's Fig 6)."""
+        self._check(pfn)
+        self.flags[pfn] |= WP_BIT
+
+    def unprotect(self, pfn: int) -> None:
+        """Clear the write-protect bit (step 8 of the paper's Fig 6)."""
+        self._check(pfn)
+        self.flags[pfn] &= 0xFF ^ WP_BIT
+
+    def protect_all(self) -> None:
+        """Write-protect every page — Viyojit startup (Fig 6 step 1)."""
+        self.flags |= WP_BIT
+
+    def unprotect_all(self) -> None:
+        """Clear every write-protect bit — baseline / hardware-mode startup."""
+        self.flags &= 0xFF ^ WP_BIT
+
+    def protected_count(self) -> int:
+        return int(np.count_nonzero(self.flags & WP_BIT))
+
+    # -- dirty bits ------------------------------------------------------
+
+    def set_dirty(self, pfn: int) -> None:
+        """Hardware behaviour on a write through a clean translation."""
+        self._check(pfn)
+        bits = int(self.flags[pfn])
+        if not bits & DIRTY_BIT:
+            self._dirty_count += 1
+        if not bits & SHADOW_BIT:
+            self._shadow_count += 1
+        self.flags[pfn] = bits | DIRTY_BIT | SHADOW_BIT
+
+    @property
+    def dirty_count(self) -> int:
+        """Pages with the architectural dirty bit set, in O(1)."""
+        return self._dirty_count
+
+    @property
+    def shadow_dirty_count(self) -> int:
+        """Pages with the shadow dirty bit set (section 5.4), in O(1)."""
+        return self._shadow_count
+
+    def is_dirty(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.flags[pfn] & DIRTY_BIT)
+
+    def is_shadow_dirty(self, pfn: int) -> bool:
+        self._check(pfn)
+        return bool(self.flags[pfn] & SHADOW_BIT)
+
+    def scan_and_clear_dirty(self) -> np.ndarray:
+        """One epoch-boundary page-table walk.
+
+        One masked vector op: gather the set dirty bits, then clear the
+        whole dirty column in place.  The shadow bits are untouched.
+        """
+        self.walks += 1
+        updated = np.flatnonzero(self.flags & DIRTY_BIT)
+        self.flags &= _CLEAR_DIRTY
+        self._dirty_count = 0
+        return updated
+
+    def clear_shadow(self, pfn: int) -> None:
+        self._check(pfn)
+        if self.flags[pfn] & SHADOW_BIT:
+            self.flags[pfn] &= 0xFF ^ SHADOW_BIT
+            self._shadow_count -= 1
+
+
+class SoATLB:
+    """Exact-LRU translation cache over int-array probe tables.
+
+    Drop-in replacement for :class:`repro.mem.tlb.TLB`.  State layout:
+
+    ``_page_slot``
+        ``pfn -> slot`` (int list, ``-1`` when shot down).  Only
+        meaningful when the page's generation is current.
+    ``_page_gen``
+        ``pfn -> generation at insert``.  A resident entry is one whose
+        generation equals ``_gen`` *and* whose slot is ``>= 0``; bumping
+        ``_gen`` therefore invalidates every entry at once, which is how
+        :meth:`flush_all` runs in O(1) regardless of region size.
+    ``_page_dirty``
+        ``pfn -> generation at which the cached dirty flag was set``.
+        ``_page_dirty[pfn] == _gen`` is the single-read answer to the
+        hottest probe, :meth:`hit_dirty` — a dirty mark from a previous
+        generation fails the comparison, so flushes clear dirty state
+        for free.
+    ``_slot_pfn``
+        ``slot -> pfn`` (int list).  Never cleared on flush: a slot's
+        entry is overwritten when the slot is next handed out, and
+        eviction (the only reader) can only run once every slot has been
+        handed out this generation.
+    ``_slot_stamp``
+        ``slot -> last-touch stamp`` (numpy ``int64``).  Stamps are drawn
+        from one strictly increasing counter, so at capacity the LRU
+        victim is ``argmin`` over this array — evicting exactly the entry
+        the object kernel's ordered dict pops first.
+    ``_fresh`` / ``_free``
+        Slot allocation: ``_fresh`` is the next slot never used this
+        generation (reset to 0 by a flush); ``_free`` stacks slots
+        returned by single-page invalidations.  Eviction only runs once
+        both are exhausted, so by then every slot's stamp and
+        ``_slot_pfn`` entry belong to the current generation.
+    """
+
+    #: Observability hook; the runtime swaps in a recording tracer.
+    tracer: Tracer = NULL_TRACER
+
+    def __init__(self, num_pages: int, capacity: int = 1536) -> None:
+        if num_pages <= 0:
+            raise ValueError(f"num_pages must be positive: {num_pages}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.num_pages = int(num_pages)
+        self.capacity = int(capacity)
+        self._gen = 0
+        self._page_slot = [-1] * self.num_pages
+        self._page_gen = [-1] * self.num_pages
+        self._page_dirty = [-1] * self.num_pages
+        self._slot_pfn = [-1] * self.capacity
+        self._slot_stamp = np.zeros(self.capacity, dtype=np.int64)
+        self._fresh = 0
+        self._free: list = []
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.single_invalidations = 0
+        self.capacity_evictions = 0
+
+    def __contains__(self, pfn: int) -> bool:
+        return (
+            0 <= pfn < self.num_pages
+            and self._page_gen[pfn] == self._gen
+            and self._page_slot[pfn] >= 0
+        )
+
+    @property
+    def resident(self) -> int:
+        """Number of live cached translations."""
+        return self._fresh - len(self._free)
+
+    def lookup(self, pfn: int) -> bool:
+        """Touch ``pfn``; return True on hit, inserting on miss."""
+        if not 0 <= pfn < self.num_pages:
+            raise IndexError(f"page frame {pfn} out of range [0, {self.num_pages})")
+        if self._page_gen[pfn] == self._gen:
+            slot = self._page_slot[pfn]
+            if slot >= 0:
+                self._slot_stamp[slot] = self._stamp
+                self._stamp += 1
+                self.hits += 1
+                return True
+        self.misses += 1
+        if self._free:
+            slot = self._free.pop()
+        elif self._fresh < self.capacity:
+            slot = self._fresh
+            self._fresh += 1
+        else:
+            # At capacity: the vectorized LRU step.  Strictly increasing
+            # stamps make the argmin the least-recently-touched entry.
+            slot = int(self._slot_stamp.argmin())
+            old = self._slot_pfn[slot]
+            self._page_slot[old] = -1
+            self._page_dirty[old] = -1
+            self.capacity_evictions += 1
+        self._slot_pfn[slot] = pfn
+        self._page_slot[pfn] = slot
+        self._page_gen[pfn] = self._gen
+        self._page_dirty[pfn] = -1
+        self._slot_stamp[slot] = self._stamp
+        self._stamp += 1
+        return False
+
+    # -- hot-path probes ---------------------------------------------------
+    #
+    # Same contract as the object kernel's probes: touch-and-count *only*
+    # on success, leave all state untouched on failure so the caller's
+    # fallback path performs the one canonical lookup.
+
+    def hit(self, pfn: int) -> bool:
+        """Touch ``pfn`` if resident; no insertion or miss accounting."""
+        if 0 <= pfn < self.num_pages and self._page_gen[pfn] == self._gen:
+            slot = self._page_slot[pfn]
+            if slot >= 0:
+                self._slot_stamp[slot] = self._stamp
+                self._stamp += 1
+                self.hits += 1
+                return True
+        return False
+
+    def hit_dirty(self, pfn: int) -> bool:
+        """Touch ``pfn`` only if resident *with the cached dirty flag set*.
+
+        One int-list read and a generation compare answer the common
+        case; the stamp write is the only LRU bookkeeping a dirty hit
+        pays.  ``_page_dirty[pfn] == _gen`` implies residency: flushes
+        change the generation, and shootdowns and evictions reset the
+        page's dirty generation to ``-1``.
+        """
+        if 0 <= pfn < self.num_pages and self._page_dirty[pfn] == self._gen:
+            self._slot_stamp[self._page_slot[pfn]] = self._stamp
+            self._stamp += 1
+            self.hits += 1
+            return True
+        return False
+
+    # -- dirty-state caching ----------------------------------------------
+
+    def dirty_cached(self, pfn: int) -> bool:
+        """Is the cached translation already marked dirty?"""
+        return 0 <= pfn < self.num_pages and self._page_dirty[pfn] == self._gen
+
+    def cache_dirty(self, pfn: int) -> None:
+        """Record that the cached translation has seen a write."""
+        if (
+            0 <= pfn < self.num_pages
+            and self._page_gen[pfn] == self._gen
+            and self._page_slot[pfn] >= 0
+        ):
+            self._page_dirty[pfn] = self._gen
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, pfn: int) -> None:
+        """Single-page shootdown (``invlpg``) after a PTE change."""
+        if 0 <= pfn < self.num_pages and self._page_gen[pfn] == self._gen:
+            slot = self._page_slot[pfn]
+            if slot >= 0:
+                self._page_slot[pfn] = -1
+                self._page_dirty[pfn] = -1
+                self._free.append(slot)
+        self.single_invalidations += 1
+
+    def flush_all(self) -> None:
+        """Full flush — required before each epoch scan for fresh dirty bits.
+
+        O(1): bumping the generation invalidates every probe-table entry
+        at once (each probe compares its page's recorded generation with
+        the current one), so no table is walked or reallocated no matter
+        how large the region.  Stale stamps and ``_slot_pfn`` entries are
+        harmless — eviction only consults them once every slot has been
+        re-issued this generation, by which point both have been
+        overwritten by the slot's new tenant.
+        """
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TLBFlush(t=self.tracer.now(), entries=self.resident)
+            )
+        self._gen += 1
+        self._fresh = 0
+        self._free = []
+        self.flushes += 1

@@ -5,6 +5,7 @@ Report layout (``SCHEMA_VERSION`` guards it)::
     {
       "schema_version": 1,
       "mode": "quick" | "full",
+      "kernel": "object" | "soa",
       "micro": { name: {..deterministic facts..}, ... },
       "macro": { name: {..deterministic facts..}, ... },
       "wall": {
@@ -18,7 +19,11 @@ Report layout (``SCHEMA_VERSION`` guards it)::
     }
 
 Schema history: v2 added the batched/sweep macro benches and
-``wall.speedups``.
+``wall.speedups``; v3 added the top-level ``kernel`` field (which
+memory kernel — ``REPRO_KERNEL`` — produced the numbers).  ``kernel``
+sits in the deterministic view on purpose: the two kernels are
+byte-identical in every simulated stat, so regenerating a baseline
+under the other kernel shows up as exactly one changed line.
 
 Everything outside ``wall`` is a pure function of the simulation: two
 runs of the same tree produce byte-identical text once the ``wall`` key
@@ -33,7 +38,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Tuple
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: ``wall.speedups`` entries: label -> (numerator bench, denominator bench);
 #: the ratio is numerator's wall seconds over denominator's, i.e. how many
@@ -51,15 +56,18 @@ def build_report(
     macro: List[Tuple[str, int, Dict[str, object], float]],
     repeats: int,
     generated_at_unix: float,
+    kernel: str = "object",
 ) -> Dict[str, object]:
     """Assemble the BENCH.json dict from measured suite results.
 
     ``micro`` rows are ``(name, unit, units, sim, wall_s)``; ``macro``
-    rows are ``(name, units, sim, wall_s)``.
+    rows are ``(name, units, sim, wall_s)``.  ``kernel`` names the
+    memory kernel that produced the numbers.
     """
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
+        "kernel": kernel,
         "micro": {name: sim for name, _unit, _units, sim, _w in micro},
         "macro": {name: sim for name, _units, sim, _w in macro},
         "wall": {

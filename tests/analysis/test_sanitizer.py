@@ -40,6 +40,24 @@ def dirty_distinct_pages(system, count):
     return mapping
 
 
+def corrupt_dirty_bits(page_table, pfns, value):
+    """Flip raw PTE dirty bits behind the page table's back.
+
+    Kernel-agnostic state corruption: bypasses ``set_dirty``'s count
+    bookkeeping on purpose (the sanitizer is supposed to notice), and
+    reaches into whichever storage the active kernel uses — the object
+    kernel's boolean column or the SoA kernel's packed flags.
+    """
+    flags = getattr(page_table, "flags", None)
+    for pfn in pfns:
+        if flags is None:
+            page_table.dirty[pfn] = value  # lint: ignore[L1]
+        elif value:
+            flags[pfn] |= 0x02
+        else:
+            flags[pfn] &= 0xFD
+
+
 class TestArming:
     def test_config_flag_controls_arming(self):
         assert make_system(sanitize=True).sanitizer is not None
@@ -130,7 +148,7 @@ class TestEvictedDurability:
 class TestScanCoherence:
     def test_surviving_dirty_bit_raises(self):
         system = make_system()
-        system.page_table.dirty[5] = True  # lint: ignore[L1]
+        corrupt_dirty_bits(system.page_table, [5], True)
         with pytest.raises(InvariantViolation) as exc:
             system.sanitizer.after_epoch_scan()
         assert exc.value.invariant == "scan-coherence"
@@ -139,7 +157,9 @@ class TestScanCoherence:
         system = make_system()
         assert system.config.flush_tlb_on_scan
         dirty_distinct_pages(system, 2)  # populates the TLB
-        system.page_table.dirty[:] = False  # lint: ignore[L1]
+        corrupt_dirty_bits(
+            system.page_table, range(system.page_table.num_pages), False
+        )
         assert system.tlb.resident > 0
         with pytest.raises(InvariantViolation, match="TLB") as exc:
             system.sanitizer.after_epoch_scan()

@@ -95,6 +95,46 @@ class TestColdest:
         assert history.coldest([1], k=0) == []
 
 
+class TestColdestPartitionEquivalence:
+    """The argpartition fast path orders exactly like the lexsort."""
+
+    @staticmethod
+    def _reference_coldest(history, candidates, k):
+        pfns = np.asarray(candidates, dtype=np.int64)
+        last, counts = history._ranking_keys(pfns)
+        order = np.lexsort((pfns, counts, last))
+        return [int(p) for p in pfns[order[: min(k, len(pfns))]]]
+
+    def test_matches_lexsort_on_random_histories(self):
+        import random
+
+        rng = random.Random(13)
+        for trial in range(50):
+            num_pages = rng.randrange(4, 64)
+            history = UpdateHistory(num_pages, history_epochs=rng.choice([2, 8, 64]))
+            for _ in range(rng.randrange(0, 30)):
+                updated = sorted(
+                    rng.sample(range(num_pages), rng.randrange(0, num_pages))
+                )
+                history.record_scan(np.array(updated, dtype=np.int64))
+            candidates = rng.sample(range(num_pages), rng.randrange(1, num_pages + 1))
+            for k in (1, 2, len(candidates) // 2, len(candidates), len(candidates) + 5):
+                if k <= 0:
+                    continue
+                assert history.coldest(candidates, k) == self._reference_coldest(
+                    history, candidates, k
+                ), (trial, k)
+
+    def test_overflow_guard_falls_back_to_lexsort(self):
+        history = UpdateHistory(8)
+        history.record_scan(np.array([1]))
+        expected = history.coldest([1, 2, 3], k=2)
+        # Force the exact-arithmetic bound to trip: the fallback must
+        # produce the identical ordering.
+        history.epoch = 2**60
+        assert history.coldest([1, 2, 3], k=2) == expected
+
+
 class TestHottest:
     def test_hottest_is_reverse_of_coldest_ordering(self):
         history = UpdateHistory(8)

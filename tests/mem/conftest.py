@@ -1,0 +1,34 @@
+"""Kernel-parametrized fixtures: every mem unit test runs on both kernels.
+
+The object kernel and the struct-of-arrays kernel implement the same
+contract; the unit tests in this package take the class under test from
+these fixtures so each test body executes twice, once per kernel.  The
+differential harness in ``test_kernel_equivalence.py`` goes further and
+runs both side by side inside a single test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.page_table import PageTable as ObjectPageTable
+from repro.mem.soa import SoAPageTable, SoATLB
+from repro.mem.tlb import TLB as ObjectTLB
+
+PAGE_TABLE_CLASSES = {"object": ObjectPageTable, "soa": SoAPageTable}
+TLB_CLASSES = {"object": ObjectTLB, "soa": SoATLB}
+
+
+@pytest.fixture(params=sorted(PAGE_TABLE_CLASSES))
+def kernel(request):
+    return request.param
+
+
+@pytest.fixture
+def page_table_cls(kernel):
+    return PAGE_TABLE_CLASSES[kernel]
+
+
+@pytest.fixture
+def tlb_cls(kernel):
+    return TLB_CLASSES[kernel]

@@ -1,0 +1,306 @@
+"""Differential equivalence: the SoA kernel IS the object kernel.
+
+The struct-of-arrays kernel may only change wall-clock time.  Every
+simulated quantity — costs, counters, fault outcomes, eviction choices,
+epoch scans, golden traces, crashfind checksums — must be byte-identical
+to the object kernel's.  This module pins that at four levels:
+
+1. **Substrate step harness** (hypothesis): one seeded op stream drives
+   an object-kernel MMU stack and an SoA stack side by side; after every
+   single op the return values and the complete observable state of both
+   stacks must match exactly.
+2. **Runtime**: identical write sequences against two full ``Viyojit``
+   systems (one per kernel) produce identical stats, clocks, and — the
+   ranking check — identical victim-queue orderings.
+3. **Macro workloads**: ``run_workload`` snapshots agree across kernels,
+   including with every fast path monkeypatched off (the deopt chain of
+   ``tests/perf/test_batched_equivalence.py``).
+4. **Artifacts**: golden traces rendered under ``REPRO_KERNEL=soa``
+   equal the committed object-kernel fixtures byte-for-byte, and a
+   sampled crashfind exploration checksums identically under both.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import ExperimentScale, run_workload
+from repro.core.config import ViyojitConfig
+from repro.core.runtime import Viyojit
+from repro.faults.explorer import explore_crash_points
+from repro.mem.kernel import KERNELS, make_mmu, make_page_table, make_tlb
+from repro.mem.machine import MachineModel
+from repro.obs.harness import TraceWorkload
+from repro.sim.events import Simulation
+from repro.workloads.ycsb import YCSB_WORKLOADS
+
+from tests.obs.regen_golden import GOLDEN_SPECS, fixture_path, render
+from tests.perf.test_sim_invisibility import _disable_fast_paths, _snapshot
+
+NUM_PAGES = 16
+TLB_CAPACITY = 4
+
+
+# --------------------------------------------------------------------------
+# Level 1: the substrate step harness.
+
+
+class _Stack:
+    """One kernel's page-table + TLB + MMU triple under differential test."""
+
+    def __init__(self, kernel: str, hardware: bool) -> None:
+        machine = MachineModel()
+        self.page_table = make_page_table(NUM_PAGES, kernel)
+        self.tlb = make_tlb(NUM_PAGES, TLB_CAPACITY, kernel)
+        self.mmu = make_mmu(self.page_table, self.tlb, machine, hardware=hardware)
+
+    def state(self) -> dict:
+        """Every externally observable fact about the stack."""
+        pt, tlb, mmu = self.page_table, self.tlb, self.mmu
+        state = {
+            "pt.write_protected": pt.write_protected.tolist(),
+            "pt.dirty": pt.dirty.tolist(),
+            "pt.shadow_dirty": pt.shadow_dirty.tolist(),
+            "pt.dirty_count": pt.dirty_count,
+            "pt.shadow_dirty_count": pt.shadow_dirty_count,
+            "pt.protected_count": pt.protected_count(),
+            "pt.walks": pt.walks,
+            "tlb.resident": tlb.resident,
+            "tlb.hits": tlb.hits,
+            "tlb.misses": tlb.misses,
+            "tlb.flushes": tlb.flushes,
+            "tlb.single_invalidations": tlb.single_invalidations,
+            "tlb.capacity_evictions": tlb.capacity_evictions,
+            "tlb.membership": [pfn in tlb for pfn in range(NUM_PAGES)],
+            "tlb.dirty_cached": [
+                tlb.dirty_cached(pfn) for pfn in range(NUM_PAGES)
+            ],
+            "mmu.read_accesses": mmu.read_accesses,
+            "mmu.write_accesses": mmu.write_accesses,
+            "mmu.faults": mmu.faults,
+        }
+        if hasattr(mmu, "dirty_counter"):
+            state["mmu.dirty_counter"] = mmu.dirty_counter
+            state["mmu.interrupts_raised"] = mmu.interrupts_raised
+        return state
+
+    def apply(self, op: tuple) -> object:
+        """Apply one op; the return value is part of the comparison."""
+        name, pfn = op
+        if name == "read":
+            return self.mmu.read_cost(pfn)
+        if name == "write":
+            outcome = self.mmu.write_access(pfn)
+            return (outcome.cost_ns, outcome.faulted, outcome.newly_dirtied)
+        if name == "probe":
+            return self.mmu.write_probe(pfn)
+        if name == "protect":
+            return self.mmu.protect_page(pfn)
+        if name == "unprotect":
+            return self.mmu.unprotect_page(pfn)
+        if name == "lookup":
+            return self.tlb.lookup(pfn)
+        if name == "invalidate":
+            self.tlb.invalidate(pfn)
+            return None
+        if name == "flush_all":
+            self.tlb.flush_all()
+            return None
+        if name == "scan_flush":
+            updated, cost = self.mmu.epoch_scan(flush_tlb=True)
+            return (updated.tolist(), cost)
+        if name == "scan_noflush":
+            updated, cost = self.mmu.epoch_scan(flush_tlb=False)
+            return (updated.tolist(), cost)
+        if name == "page_cleaned":
+            cleaned = getattr(self.mmu, "page_cleaned", None)
+            if cleaned is not None:
+                cleaned(pfn)
+            return None
+        raise AssertionError(f"unknown op {name!r}")
+
+
+_pfns = st.integers(0, NUM_PAGES - 1)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("read"), _pfns),
+        st.tuples(st.just("write"), _pfns),
+        st.tuples(st.just("probe"), _pfns),
+        st.tuples(st.just("protect"), _pfns),
+        st.tuples(st.just("unprotect"), _pfns),
+        st.tuples(st.just("lookup"), _pfns),
+        st.tuples(st.just("invalidate"), _pfns),
+        st.tuples(st.just("flush_all"), st.just(0)),
+        st.tuples(st.just("scan_flush"), st.just(0)),
+        st.tuples(st.just("scan_noflush"), st.just(0)),
+        st.tuples(st.just("page_cleaned"), _pfns),
+    ),
+    max_size=300,
+)
+
+
+@pytest.mark.parametrize("hardware", [False, True], ids=["software", "hardware"])
+@settings(max_examples=150, deadline=None)
+@given(ops=_ops)
+def test_step_for_step_substrate_equivalence(hardware, ops):
+    obj = _Stack("object", hardware)
+    soa = _Stack("soa", hardware)
+    assert obj.state() == soa.state()
+    for index, op in enumerate(ops):
+        assert obj.apply(op) == soa.apply(op), (index, op)
+        assert obj.state() == soa.state(), (index, op)
+
+
+@pytest.mark.parametrize("hardware", [False, True], ids=["software", "hardware"])
+def test_dense_seeded_stream_equivalence(hardware):
+    """A long seeded stream, far past the TLB's eviction horizon."""
+    rng = random.Random(20260808)
+    names = (
+        "read", "write", "probe", "protect", "unprotect", "lookup",
+        "invalidate", "flush_all", "scan_flush", "scan_noflush",
+        "page_cleaned",
+    )
+    obj = _Stack("object", hardware)
+    soa = _Stack("soa", hardware)
+    for step in range(30_000):
+        op = (rng.choice(names), rng.randrange(NUM_PAGES))
+        assert obj.apply(op) == soa.apply(op), (step, op)
+    assert obj.state() == soa.state()
+
+
+def test_exceptions_match_across_kernels():
+    obj = _Stack("object", hardware=False)
+    soa = _Stack("soa", hardware=False)
+    for bad in (-1, NUM_PAGES, NUM_PAGES + 7):
+        errors = []
+        for stack in (obj, soa):
+            with pytest.raises(IndexError) as exc:
+                stack.tlb.lookup(bad)
+            errors.append(str(exc.value))
+            with pytest.raises(IndexError) as exc:
+                stack.page_table.set_dirty(bad)
+            errors.append(str(exc.value))
+        assert errors[0:2] == errors[2:4]
+
+
+# --------------------------------------------------------------------------
+# Level 2: full runtimes, including victim-ranking order.
+
+
+def _build_viyojit(kernel: str, monkeypatch) -> Viyojit:
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    system = Viyojit(
+        sim=Simulation(),
+        num_pages=96,
+        config=ViyojitConfig(dirty_budget_pages=8),
+    )
+    system.start()
+    return system
+
+
+def test_runtime_and_victim_ranking_equivalence(monkeypatch):
+    systems = {k: _build_viyojit(k, monkeypatch) for k in KERNELS}
+    mappings = {
+        k: system.mmap(64 * system.region.page_size)
+        for k, system in systems.items()
+    }
+    rng = random.Random(99)
+    offsets = [
+        rng.randrange(64) * 4096 + rng.randrange(4000) for _ in range(4_000)
+    ]
+    for index, offset in enumerate(offsets):
+        payload = b"x%6d" % index
+        for k, system in systems.items():
+            system.write(mappings[k].addr(offset), payload)
+        if index % 257 == 0:
+            clocks = {k: s.sim.now for k, s in systems.items()}
+            assert len(set(clocks.values())) == 1, (index, clocks)
+    obj, soa = systems["object"], systems["soa"]
+    assert obj.sim.now == soa.sim.now
+    assert obj.stats == soa.stats
+    assert obj.page_table.dirty_count == soa.page_table.dirty_count
+    assert (obj.tlb.hits, obj.tlb.misses, obj.tlb.capacity_evictions) == (
+        soa.tlb.hits, soa.tlb.misses, soa.tlb.capacity_evictions
+    )
+    # The ranking check: rebuild both victim queues from scratch and
+    # compare the *order*, not just the set.
+    for system in systems.values():
+        system._rebuild_victim_queue()
+    assert list(obj._victim_queue) == list(soa._victim_queue)
+
+
+# --------------------------------------------------------------------------
+# Level 3: macro workloads, optimized and deoptimized.
+
+SCALE = ExperimentScale(record_count=800, operation_count=2_500)
+
+
+def _run_under_kernel(monkeypatch, kernel, *args, **kwargs):
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    return _snapshot(run_workload(*args, **kwargs))
+
+
+@pytest.mark.parametrize("budget_fraction", [0.175, None],
+                         ids=["viyojit", "nvdram"])
+def test_workload_snapshots_identical_across_kernels(
+    monkeypatch, budget_fraction
+):
+    spec = YCSB_WORKLOADS["YCSB-A"]
+    snapshots = {
+        kernel: _run_under_kernel(
+            monkeypatch, kernel, spec, SCALE, budget_fraction
+        )
+        for kernel in KERNELS
+    }
+    assert snapshots["object"] == snapshots["soa"]
+
+
+def test_soa_kernel_is_simulation_invisible_when_deoptimized(monkeypatch):
+    """The deopt chain composes with the kernel switch: object and SoA,
+    optimized and with every fast path off, all four snapshots agree."""
+    spec = YCSB_WORKLOADS["YCSB-A"]
+    optimized = {
+        kernel: _run_under_kernel(monkeypatch, kernel, spec, SCALE, 0.175)
+        for kernel in KERNELS
+    }
+    _disable_fast_paths(monkeypatch)
+    deoptimized = {
+        kernel: _run_under_kernel(monkeypatch, kernel, spec, SCALE, 0.175)
+        for kernel in KERNELS
+    }
+    assert (
+        optimized["object"]
+        == optimized["soa"]
+        == deoptimized["object"]
+        == deoptimized["soa"]
+    )
+
+
+# --------------------------------------------------------------------------
+# Level 4: committed artifacts.
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SPECS))
+def test_golden_traces_render_identically_under_soa(monkeypatch, name):
+    """The committed fixtures were generated by the object kernel; the
+    SoA kernel must reproduce them byte-for-byte."""
+    monkeypatch.setenv("REPRO_KERNEL", "soa")
+    assert render(name) == fixture_path(name).read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("system", ["viyojit", "hardware"])
+def test_crashfind_checksums_identical_across_kernels(monkeypatch, system):
+    """A sampled crash-point exploration — every probed boundary's
+    recovery outcome — checksums identically under both kernels."""
+    spec = TraceWorkload(system=system, ops=300)
+    reports = {}
+    for kernel in KERNELS:
+        monkeypatch.setenv("REPRO_KERNEL", kernel)
+        reports[kernel] = explore_crash_points(spec, stride=5)
+    assert reports["object"].checksum() == reports["soa"].checksum()
+    assert reports["object"].as_dict() == reports["soa"].as_dict()
+    assert reports["object"].all_ok

@@ -1,35 +1,41 @@
-"""Unit tests for the MMU: faults, dirty-bit side effects, scan costs."""
+"""Unit tests for the MMU: faults, dirty-bit side effects, scan costs.
+
+The MMU is kernel-agnostic logic over the page-table/TLB contract, so
+the whole module runs against both kernels via the ``kernel`` fixture.
+"""
 
 import pytest
 
+from repro.mem.kernel import make_mmu, make_page_table, make_tlb
 from repro.mem.machine import MachineModel
-from repro.mem.mmu import MMU, HardwareAssistedMMU
-from repro.mem.page_table import PageTable
-from repro.mem.tlb import TLB
+from repro.mem.mmu import MMU
 
 
-def build_mmu(num_pages=32, hardware=False, machine=None):
-    machine = machine if machine is not None else MachineModel()
-    table = PageTable(num_pages)
-    tlb = TLB(num_pages, machine.tlb_entries)
-    cls = HardwareAssistedMMU if hardware else MMU
-    return cls(table, tlb, machine)
+@pytest.fixture
+def build_mmu(kernel):
+    def build(num_pages=32, hardware=False, machine=None):
+        machine = machine if machine is not None else MachineModel()
+        table = make_page_table(num_pages, kernel)
+        tlb = make_tlb(num_pages, machine.tlb_entries, kernel)
+        return make_mmu(table, tlb, machine, hardware=hardware)
+
+    return build
 
 
 class TestReadAccess:
-    def test_read_never_faults_even_when_protected(self):
+    def test_read_never_faults_even_when_protected(self, build_mmu):
         mmu = build_mmu()
         assert mmu.page_table.is_write_protected(0)
         outcome = mmu.read_access(0)
         assert outcome.faulted is False
 
-    def test_read_charges_dram_plus_miss(self):
+    def test_read_charges_dram_plus_miss(self, build_mmu):
         mmu = build_mmu()
         outcome = mmu.read_access(0)
         expected = mmu.machine.dram_access_cost_ns + mmu.machine.tlb_miss_cost_ns
         assert outcome.cost_ns == expected
 
-    def test_second_read_is_cheaper(self):
+    def test_second_read_is_cheaper(self, build_mmu):
         mmu = build_mmu()
         first = mmu.read_access(0)
         second = mmu.read_access(0)
@@ -38,18 +44,18 @@ class TestReadAccess:
 
 
 class TestWriteAccess:
-    def test_write_to_protected_page_faults(self):
+    def test_write_to_protected_page_faults(self, build_mmu):
         mmu = build_mmu()
         outcome = mmu.write_access(0)
         assert outcome.faulted is True
         assert mmu.faults == 1
 
-    def test_faulted_write_does_not_set_dirty(self):
+    def test_faulted_write_does_not_set_dirty(self, build_mmu):
         mmu = build_mmu()
         mmu.write_access(0)
         assert not mmu.page_table.is_dirty(0)
 
-    def test_write_after_unprotect_succeeds_and_dirties(self):
+    def test_write_after_unprotect_succeeds_and_dirties(self, build_mmu):
         mmu = build_mmu()
         mmu.unprotect_page(0)
         outcome = mmu.write_access(0)
@@ -57,7 +63,7 @@ class TestWriteAccess:
         assert outcome.newly_dirtied is True
         assert mmu.page_table.is_dirty(0)
 
-    def test_repeat_write_does_not_redirty(self):
+    def test_repeat_write_does_not_redirty(self, build_mmu):
         """The TLB caches the dirty flag; later writes skip the PTE."""
         mmu = build_mmu()
         mmu.unprotect_page(0)
@@ -65,7 +71,7 @@ class TestWriteAccess:
         outcome = mmu.write_access(0)
         assert outcome.newly_dirtied is False
 
-    def test_write_after_scan_redirties_only_with_flush(self):
+    def test_write_after_scan_redirties_only_with_flush(self, build_mmu):
         """The stale-dirty-bit mechanism of section 6.3."""
         mmu = build_mmu()
         mmu.unprotect_page(0)
@@ -83,8 +89,63 @@ class TestWriteAccess:
         assert mmu.page_table.is_dirty(0)
 
 
+class TestWriteProbe:
+    """The allocation-free hot-path probe, and its negative fault encoding."""
+
+    def test_probe_matches_access_on_success(self, build_mmu):
+        mmu = build_mmu()
+        mmu.unprotect_page(0)
+        probed = mmu.write_probe(0)
+        assert probed >= 0
+        fresh = build_mmu()
+        fresh.unprotect_page(0)
+        assert probed == fresh.write_access(0).cost_ns
+
+    def test_probe_encodes_fault_as_negative(self, build_mmu):
+        mmu = build_mmu()
+        probed = mmu.write_probe(0)
+        assert probed < 0
+        # The encoding round-trips: cost = -(probed + 1).
+        fresh = build_mmu()
+        assert -(probed + 1) == fresh.write_access(0).cost_ns
+        assert mmu.faults == 1
+
+    def test_repeated_probes_on_faulted_page_keep_faulting(self, build_mmu):
+        """An already-faulted page is not sticky state: every probe on a
+        still-protected page re-faults with the same negative encoding."""
+        mmu = build_mmu()
+        first = mmu.write_probe(0)
+        second = mmu.write_probe(0)
+        third = mmu.write_probe(0)
+        assert first < 0
+        # Retries hit a now-resident translation: same fault, cheaper walk.
+        expected_retry = -(mmu.machine.dram_access_cost_ns) - 1
+        assert second == third == expected_retry
+        assert mmu.faults == 3
+        assert not mmu.page_table.is_dirty(0)
+
+    def test_probe_after_fault_resolution_succeeds(self, build_mmu):
+        mmu = build_mmu()
+        assert mmu.write_probe(5) < 0
+        mmu.unprotect_page(5)
+        assert mmu.write_probe(5) >= 0
+        assert mmu.page_table.is_dirty(5)
+
+    def test_hardware_probe_negative_encoding_on_faulted_page(self, build_mmu):
+        """Hardware mode still faults on flusher-protected pages; the
+        probe must not touch the dirty counter on that path."""
+        mmu = build_mmu(hardware=True)
+        mmu.unprotect_all()
+        mmu.protect_page(5)
+        first = mmu.write_probe(5)
+        second = mmu.write_probe(5)
+        assert first < 0 and second < 0
+        assert mmu.faults == 2
+        assert mmu.dirty_counter == 0
+
+
 class TestProtectionOps:
-    def test_protect_page_invalidates_tlb(self):
+    def test_protect_page_invalidates_tlb(self, build_mmu):
         mmu = build_mmu()
         mmu.unprotect_page(3)
         mmu.write_access(3)
@@ -92,14 +153,14 @@ class TestProtectionOps:
         mmu.protect_page(3)
         assert 3 not in mmu.tlb
 
-    def test_protect_cost(self):
+    def test_protect_cost(self, build_mmu):
         mmu = build_mmu()
         assert mmu.protect_page(0) == mmu.machine.pte_update_cost_ns
         assert mmu.unprotect_page(0) == mmu.machine.pte_update_cost_ns
 
 
 class TestEpochScan:
-    def test_scan_reports_updated_pages(self):
+    def test_scan_reports_updated_pages(self, build_mmu):
         mmu = build_mmu()
         for pfn in (1, 4, 9):
             mmu.unprotect_page(pfn)
@@ -107,48 +168,52 @@ class TestEpochScan:
         updated, _cost = mmu.epoch_scan()
         assert sorted(updated.tolist()) == [1, 4, 9]
 
-    def test_scan_cost_includes_flush(self):
+    def test_scan_cost_includes_flush(self, build_mmu):
         mmu = build_mmu()
         _updated, with_flush = mmu.epoch_scan(flush_tlb=True)
         _updated, without = mmu.epoch_scan(flush_tlb=False)
         assert with_flush > without
 
-    def test_mismatched_sizes_rejected(self):
+    def test_mismatched_sizes_rejected(self, kernel):
         machine = MachineModel()
         with pytest.raises(ValueError):
-            MMU(PageTable(8), TLB(16, machine.tlb_entries), machine)
+            MMU(
+                make_page_table(8, kernel),
+                make_tlb(16, machine.tlb_entries, kernel),
+                machine,
+            )
 
 
 class TestHardwareAssistedMMU:
-    def test_no_fault_on_unprotected_first_write(self):
+    def test_no_fault_on_unprotected_first_write(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         outcome = mmu.write_access(0)
         assert outcome.faulted is False
         assert mmu.dirty_counter == 1
 
-    def test_counter_counts_unique_pages_only(self):
+    def test_counter_counts_unique_pages_only(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         mmu.write_access(0)
         mmu.write_access(0)
         mmu.write_access(1)
         assert mmu.dirty_counter == 2
 
-    def test_on_new_dirty_fires_before_commit(self):
+    def test_on_new_dirty_fires_before_commit(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         observed = []
         mmu.on_new_dirty = lambda pfn: observed.append(
-            (pfn, bool(mmu.page_table.shadow_dirty[pfn]), mmu.dirty_counter)
+            (pfn, mmu.page_table.is_shadow_dirty(pfn), mmu.dirty_counter)
         )
         mmu.write_access(7)
         # At hook time the shadow bit was still clear and counter not bumped.
         assert observed == [(7, False, 0)]
 
-    def test_threshold_interrupt(self):
+    def test_threshold_interrupt(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         raised = []
         mmu.set_threshold(2, lambda pfn: raised.append(pfn))
         mmu.write_access(0)
@@ -157,31 +222,31 @@ class TestHardwareAssistedMMU:
         assert raised == [1]
         assert mmu.interrupts_raised == 1
 
-    def test_page_cleaned_decrements(self):
+    def test_page_cleaned_decrements(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         mmu.write_access(0)
         mmu.page_cleaned(0)
         assert mmu.dirty_counter == 0
-        assert not mmu.page_table.shadow_dirty[0]
+        assert not mmu.page_table.is_shadow_dirty(0)
 
-    def test_page_cleaned_idempotent(self):
+    def test_page_cleaned_idempotent(self, build_mmu):
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         mmu.write_access(0)
         mmu.page_cleaned(0)
         mmu.page_cleaned(0)
         assert mmu.dirty_counter == 0
 
-    def test_still_faults_on_protected_page(self):
+    def test_still_faults_on_protected_page(self, build_mmu):
         """The flusher protects pages mid-IO even in hardware mode."""
         mmu = build_mmu(hardware=True)
-        mmu.page_table.write_protected[:] = False
+        mmu.unprotect_all()
         mmu.protect_page(5)
         outcome = mmu.write_access(5)
         assert outcome.faulted is True
 
-    def test_negative_threshold_rejected(self):
+    def test_negative_threshold_rejected(self, build_mmu):
         mmu = build_mmu(hardware=True)
         with pytest.raises(ValueError):
             mmu.set_threshold(-1, lambda pfn: None)

@@ -1,45 +1,45 @@
-"""Unit tests for the simulated page table."""
+"""Unit tests for the simulated page table, run against both kernels."""
 
 import numpy as np
 import pytest
 
-from repro.mem.page_table import PageTable
+from tests.mem.conftest import PAGE_TABLE_CLASSES
 
 
 class TestConstruction:
-    def test_all_pages_start_protected(self):
-        table = PageTable(16)
+    def test_all_pages_start_protected(self, page_table_cls):
+        table = page_table_cls(16)
         assert table.protected_count() == 16
 
-    def test_no_dirty_bits_initially(self):
-        table = PageTable(16)
+    def test_no_dirty_bits_initially(self, page_table_cls):
+        table = page_table_cls(16)
         assert not table.dirty.any()
         assert not table.shadow_dirty.any()
 
-    def test_invalid_size_rejected(self):
+    def test_invalid_size_rejected(self, page_table_cls):
         with pytest.raises(ValueError):
-            PageTable(0)
+            page_table_cls(0)
         with pytest.raises(ValueError):
-            PageTable(-5)
+            page_table_cls(-5)
 
 
 class TestProtectionBits:
-    def test_unprotect_and_protect(self):
-        table = PageTable(8)
+    def test_unprotect_and_protect(self, page_table_cls):
+        table = page_table_cls(8)
         table.unprotect(3)
         assert not table.is_write_protected(3)
         table.protect(3)
         assert table.is_write_protected(3)
 
-    def test_protect_all(self):
-        table = PageTable(8)
+    def test_protect_all(self, page_table_cls):
+        table = page_table_cls(8)
         for pfn in range(8):
             table.unprotect(pfn)
         table.protect_all()
         assert table.protected_count() == 8
 
-    def test_out_of_range_rejected(self):
-        table = PageTable(8)
+    def test_out_of_range_rejected(self, page_table_cls):
+        table = page_table_cls(8)
         with pytest.raises(IndexError):
             table.protect(8)
         with pytest.raises(IndexError):
@@ -49,45 +49,56 @@ class TestProtectionBits:
 
 
 class TestDirtyBits:
-    def test_set_dirty_sets_shadow_too(self):
-        table = PageTable(8)
+    def test_set_dirty_sets_shadow_too(self, page_table_cls):
+        table = page_table_cls(8)
         table.set_dirty(2)
         assert table.is_dirty(2)
+        assert table.is_shadow_dirty(2)
         assert table.shadow_dirty[2]
 
-    def test_scan_returns_and_clears(self):
-        table = PageTable(8)
+    def test_scan_returns_and_clears(self, page_table_cls):
+        table = page_table_cls(8)
         table.set_dirty(1)
         table.set_dirty(5)
         updated = table.scan_and_clear_dirty()
         assert sorted(updated.tolist()) == [1, 5]
         assert not table.dirty.any()
 
-    def test_scan_preserves_shadow(self):
-        table = PageTable(8)
+    def test_scan_preserves_shadow(self, page_table_cls):
+        table = page_table_cls(8)
         table.set_dirty(1)
         table.scan_and_clear_dirty()
         assert table.shadow_dirty[1]
 
-    def test_scan_counts_walks(self):
-        table = PageTable(8)
+    def test_scan_counts_walks(self, page_table_cls):
+        table = page_table_cls(8)
         table.scan_and_clear_dirty()
         table.scan_and_clear_dirty()
         assert table.walks == 2
 
-    def test_empty_scan(self):
-        table = PageTable(8)
+    def test_empty_scan(self, page_table_cls):
+        table = page_table_cls(8)
         updated = table.scan_and_clear_dirty()
         assert len(updated) == 0
         assert updated.dtype == np.int64 or updated.dtype == np.intp
 
-    def test_clear_shadow(self):
-        table = PageTable(8)
+    def test_clear_shadow(self, page_table_cls):
+        table = page_table_cls(8)
         table.set_dirty(4)
         table.clear_shadow(4)
         assert not table.shadow_dirty[4]
+        assert not table.is_shadow_dirty(4)
 
-    def test_dirty_out_of_range(self):
-        table = PageTable(8)
+    def test_dirty_out_of_range(self, page_table_cls):
+        table = page_table_cls(8)
         with pytest.raises(IndexError):
             table.set_dirty(9)
+
+    def test_out_of_range_message_identical_across_kernels(self):
+        """The façade contract covers exception text, not just types."""
+        messages = set()
+        for cls in PAGE_TABLE_CLASSES.values():
+            with pytest.raises(IndexError) as exc:
+                cls(8).set_dirty(9)
+            messages.add(str(exc.value))
+        assert len(messages) == 1

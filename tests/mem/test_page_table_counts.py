@@ -1,20 +1,30 @@
 """Cached dirty-bit popcounts stay equivalent to recomputation (S2).
 
-``PageTable.dirty_count`` / ``shadow_dirty_count`` are maintained
-incrementally by the three mutators; hypothesis drives arbitrary
-interleavings of them and checks the caches against a fresh
-``np.count_nonzero`` after every step.
+``dirty_count`` / ``shadow_dirty_count`` are maintained incrementally by
+the three mutators; hypothesis drives arbitrary interleavings of them —
+against both kernels — and checks the caches against a fresh
+``np.count_nonzero`` after every step.  The deterministic tests pin the
+boundary cases: an empty table (the budget-0 shape, where the cache must
+stay exactly zero through scans) and a fully dirty table (every page's
+bit set, the worst case for the SoA kernel's packed-flags bookkeeping).
 """
 
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mem.page_table import PageTable
+from repro.mem.soa import SoAPageTable
 
 NUM_PAGES = 24
+
+KERNEL_PARAMS = [
+    pytest.param(PageTable, id="object"),
+    pytest.param(SoAPageTable, id="soa"),
+]
 
 _ops = st.lists(
     st.one_of(
@@ -26,17 +36,18 @@ _ops = st.lists(
 )
 
 
-def _assert_counts_match(table: PageTable) -> None:
+def _assert_counts_match(table) -> None:
     assert table.dirty_count == int(np.count_nonzero(table.dirty))
     assert table.shadow_dirty_count == int(
         np.count_nonzero(table.shadow_dirty)
     )
 
 
+@pytest.mark.parametrize("table_cls", KERNEL_PARAMS)
 @settings(max_examples=200, deadline=None)
-@given(_ops)
-def test_cached_counts_equal_recomputed(ops):
-    table = PageTable(NUM_PAGES)
+@given(ops=_ops)
+def test_cached_counts_equal_recomputed(table_cls, ops):
+    table = table_cls(NUM_PAGES)
     _assert_counts_match(table)
     for name, pfn in ops:
         if name == "set_dirty":
@@ -48,8 +59,9 @@ def test_cached_counts_equal_recomputed(ops):
         _assert_counts_match(table)
 
 
-def test_counts_start_at_zero_and_track_duplicates():
-    table = PageTable(8)
+@pytest.mark.parametrize("table_cls", KERNEL_PARAMS)
+def test_counts_start_at_zero_and_track_duplicates(table_cls):
+    table = table_cls(8)
     assert table.dirty_count == 0
     table.set_dirty(3)
     table.set_dirty(3)  # idempotent: no double count
@@ -63,3 +75,34 @@ def test_counts_start_at_zero_and_track_duplicates():
     table.clear_shadow(3)
     table.clear_shadow(3)  # idempotent: no negative count
     assert table.shadow_dirty_count == 1
+
+
+@pytest.mark.parametrize("table_cls", KERNEL_PARAMS)
+def test_counts_on_empty_table_survive_scans(table_cls):
+    """The budget-0 shape: nothing ever dirtied, counts pinned at zero."""
+    table = table_cls(8)
+    for _ in range(3):
+        updated = table.scan_and_clear_dirty()
+        assert updated.size == 0
+        assert table.dirty_count == 0
+        assert table.shadow_dirty_count == 0
+    _assert_counts_match(table)
+
+
+@pytest.mark.parametrize("table_cls", KERNEL_PARAMS)
+def test_counts_at_full_table_dirty(table_cls):
+    """Every page dirty: counts saturate, scan drains them all at once."""
+    table = table_cls(NUM_PAGES)
+    for pfn in range(NUM_PAGES):
+        table.set_dirty(pfn)
+    assert table.dirty_count == NUM_PAGES
+    assert table.shadow_dirty_count == NUM_PAGES
+    _assert_counts_match(table)
+    updated = table.scan_and_clear_dirty()
+    assert updated.tolist() == list(range(NUM_PAGES))
+    assert table.dirty_count == 0
+    assert table.shadow_dirty_count == NUM_PAGES
+    for pfn in range(NUM_PAGES):
+        table.clear_shadow(pfn)
+    assert table.shadow_dirty_count == 0
+    _assert_counts_match(table)

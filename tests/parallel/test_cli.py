@@ -9,6 +9,7 @@ import types
 import pytest
 
 from repro.cli import BENCH_BASELINE_PATH, main
+from repro.perf import SCHEMA_VERSION
 
 SWEEP_ARGS = [
     "sweep",
@@ -88,8 +89,9 @@ class TestSweepCommand:
 
 def _fake_report() -> dict:
     return {
-        "schema_version": 2,
+        "schema_version": SCHEMA_VERSION,
         "mode": "quick",
+        "kernel": "object",
         "micro": {},
         "macro": {},
         "wall": {"micro": {}, "macro": {}, "speedups": {}, "repeats": 1},
@@ -132,7 +134,7 @@ class TestPerfBaselineUpdate:
         assert main(["perf", "--quick", "--update-baseline", "--force"]) == 0
         assert "updated" in capsys.readouterr().out
         written = json.loads((tmp_path / BENCH_BASELINE_PATH).read_text())
-        assert written["schema_version"] == 2
+        assert written["schema_version"] == SCHEMA_VERSION
 
     def test_clean_tree_updates_without_force(
         self, fake_suite, monkeypatch, tmp_path

@@ -22,7 +22,20 @@ class TestSchema:
         report, _ = quick_reports
         assert report["schema_version"] == SCHEMA_VERSION
         assert report["mode"] == "quick"
-        assert set(report) == {"schema_version", "mode", "micro", "macro", "wall"}
+        assert report["kernel"] in ("object", "soa")
+        assert set(report) == {
+            "schema_version", "mode", "kernel", "micro", "macro", "wall"
+        }
+
+    def test_kernel_field_reflects_env(self, monkeypatch):
+        from repro.perf.report import build_report
+        from repro.mem.kernel import kernel_name
+
+        monkeypatch.setenv("REPRO_KERNEL", "soa")
+        report = build_report("quick", [], [], 1, 0.0, kernel=kernel_name())
+        assert report["kernel"] == "soa"
+        # The kernel is part of the deterministic view, not the wall data.
+        assert '"kernel": "soa"' in deterministic_view(report)
 
     def test_expected_benchmarks_present(self, quick_reports):
         report, _ = quick_reports
@@ -104,6 +117,7 @@ class TestRegressionGate:
         return {
             "schema_version": schema,
             "mode": "quick",
+            "kernel": "object",
             "micro": {},
             "macro": {},
             "wall": {

@@ -33,12 +33,16 @@ def _snapshot(result) -> dict:
 
 def _disable_fast_paths(monkeypatch) -> None:
     from repro.core import policies
+    from repro.mem.soa import SoATLB
     from repro.mem.tlb import TLB
     from repro.sim.events import EventQueue
 
     # TLB probes always miss: every access takes the canonical MMU path.
-    monkeypatch.setattr(TLB, "hit", lambda self, pfn: False)
-    monkeypatch.setattr(TLB, "hit_dirty", lambda self, pfn: False)
+    # Both kernels' TLBs are patched so the chain deoptimizes whichever
+    # one REPRO_KERNEL selected.
+    for tlb_cls in (TLB, SoATLB):
+        monkeypatch.setattr(tlb_cls, "hit", lambda self, pfn: False)
+        monkeypatch.setattr(tlb_cls, "hit_dirty", lambda self, pfn: False)
     # The next-due bound always demands a drain attempt.
     # ``next_due_at`` is normally a plain instance attribute; installing
     # a class-level data descriptor overrides it for every queue.
