@@ -1,0 +1,129 @@
+"""Grandfathered-findings baseline for ``repro lint``.
+
+The baseline is a checked-in JSON file of *fingerprints* — one entry
+per (rule, path, message) with a count — so adopting a new rule on an
+old tree does not require fixing every finding at once.  Semantics:
+
+* a finding whose fingerprint is in the baseline is **suppressed**
+  (reported as baselined, not failing);
+* a finding *not* in the baseline is **new** and fails the run;
+* a baseline entry with no matching finding is **stale** and also
+  fails the run — fixed findings must be removed from the file, so the
+  baseline only ever shrinks by accident and grows on purpose.
+
+Fingerprints deliberately exclude line/column numbers: moving a
+grandfathered finding ten lines down must not count as "new".  Counts
+make the match a multiset comparison — two identical findings in one
+file need a count of 2, and fixing one of them makes the entry stale.
+
+The serialised form is canonical (sorted entries, fixed indentation,
+trailing newline) so CI can require ``--update-baseline`` output to be
+byte-identical to the checked-in file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.framework import Violation
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]  # (rule, path, message)
+
+
+def fingerprint(violation: Violation) -> Fingerprint:
+    return (violation.rule_id, violation.path, violation.message)
+
+
+@dataclass
+class BaselineDiff:
+    """Result of matching a report against a baseline."""
+
+    #: findings absent from the baseline — these fail the run
+    new: List[Violation] = field(default_factory=list)
+    #: findings matched (and suppressed) by a baseline entry
+    baselined: List[Violation] = field(default_factory=list)
+    #: baseline entries with no matching finding — fixed but not removed
+    stale: List[Fingerprint] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new and not self.stale
+
+
+class Baseline:
+    """Multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Dict[Fingerprint, int] | None = None) -> None:
+        self.counts: Dict[Fingerprint, int] = dict(counts or {})
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_violations(cls, violations: Sequence[Violation]) -> "Baseline":
+        counts: Dict[Fingerprint, int] = {}
+        for violation in violations:
+            key = fingerprint(violation)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        counts: Dict[Fingerprint, int] = {}
+        for entry in payload.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["message"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- serialisation (canonical, byte-stable) ----------------------------
+
+    def to_json(self) -> str:
+        findings = [
+            {"rule": rule, "path": path, "message": message, "count": count}
+            for (rule, path, message), count in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": findings}
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    # -- matching ----------------------------------------------------------
+
+    def diff(self, violations: Sequence[Violation]) -> BaselineDiff:
+        remaining = dict(self.counts)
+        result = BaselineDiff()
+        for violation in violations:
+            key = fingerprint(violation)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.baselined.append(violation)
+            else:
+                result.new.append(violation)
+        for key, count in sorted(remaining.items()):
+            result.stale.extend([key] * count)
+        return result
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self.counts == other.counts

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 reporter for ``repro lint``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard,
+version 2.1.0) is what GitHub code scanning ingests, so CI can upload
+the whole-program lint results and have findings annotate PRs inline.
+
+The document is deterministic: rules sorted by id, results in report
+order (already sorted by the framework), canonical key order via
+``sort_keys``.  Findings suppressed by the checked-in baseline are
+still *present* in the SARIF output but carry a ``suppressions`` entry
+of kind ``external`` — code scanning then shows them as suppressed
+instead of open, which matches the baseline semantics exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.framework import LintReport, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+#: repro severity -> SARIF ``level``.  The names coincide by design.
+_LEVELS = {"note": "note", "warning": "warning", "error": "error"}
+
+
+def _rule_descriptor(rule: Any) -> Dict:
+    return {
+        "id": rule.rule_id,
+        "name": rule.__class__.__name__,
+        "shortDescription": {"text": rule.title},
+        "defaultConfiguration": {"level": _LEVELS.get(rule.severity, "error")},
+    }
+
+
+def _result(
+    violation: Violation, rule_index: Dict[str, int], suppressed: bool
+) -> Dict:
+    result: Dict = {
+        "ruleId": violation.rule_id,
+        "level": _LEVELS.get(violation.severity, "error"),
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(violation.line, 1),
+                        "startColumn": violation.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if violation.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[violation.rule_id]
+    if suppressed:
+        result["suppressions"] = [
+            {"kind": "external", "justification": "baselined finding"}
+        ]
+    return result
+
+
+def sarif_document(
+    report: LintReport,
+    rules: Sequence = (),
+    baselined: Optional[Iterable[Violation]] = None,
+) -> Dict:
+    """Build the SARIF log as a plain dict (tests validate this shape)."""
+    descriptors = sorted(
+        (_rule_descriptor(rule) for rule in rules), key=lambda d: d["id"]
+    )
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    suppressed_ids = {id(v) for v in (baselined or ())}
+    results: List[Dict] = [
+        _result(violation, rule_index, id(violation) in suppressed_ids)
+        for violation in report.violations
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": descriptors,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    rules: Sequence = (),
+    baselined: Optional[Iterable[Violation]] = None,
+) -> str:
+    """Serialise the report as a SARIF 2.1.0 JSON document."""
+    return json.dumps(
+        sarif_document(report, rules=rules, baselined=baselined),
+        indent=2,
+        sort_keys=True,
+    )

@@ -396,8 +396,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     argv: List[str] = list(args.paths)
     argv += ["--format", args.format]
+    argv += ["--fail-on", args.fail_on]
     if args.select:
         argv += ["--select", args.select]
+    if args.strict:
+        argv.append("--strict")
+    if args.baseline is not None:
+        argv += ["--baseline", args.baseline]
+    if args.update_baseline is not None:
+        argv += ["--update-baseline", args.update_baseline]
+    for override in args.severity or ():
+        argv += ["--severity", override]
+    if args.sarif_out:
+        argv += ["--sarif-out", args.sarif_out]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -681,9 +692,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text")
     lint.add_argument("--select", type=str, default=None,
                       help="comma-separated rule IDs to run (default: all)")
+    lint.add_argument("--strict", action="store_true",
+                      help="also run the whole-program rules (W1/R1/K1/P1)")
+    lint.add_argument("--baseline", nargs="?", const="lint_baseline.json",
+                      default=None, metavar="FILE",
+                      help="suppress grandfathered findings from FILE "
+                      "(default: lint_baseline.json)")
+    lint.add_argument("--update-baseline", nargs="?",
+                      const="lint_baseline.json", default=None,
+                      metavar="FILE",
+                      help="rewrite the baseline from current findings")
+    lint.add_argument("--severity", action="append", default=None,
+                      metavar="RULE=LEVEL",
+                      help="override a rule's severity; repeatable")
+    lint.add_argument("--fail-on", choices=("note", "warning", "error"),
+                      default="warning",
+                      help="minimum severity that fails the run "
+                      "(default: warning)")
+    lint.add_argument("--sarif-out", type=str, default=None, metavar="FILE",
+                      help="additionally write a SARIF 2.1.0 report to FILE")
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     lint.set_defaults(func=cmd_lint)

@@ -1,0 +1,54 @@
+"""R1 fixture: RNG streams seeded against the discipline.
+
+Four flagged constructions (literal, module global, unseeded, opaque
+call) and four accepted ones (parameter arithmetic, config field,
+derived-seed helper, reseed wrapper).  D1 independently flags the
+unseeded ``default_rng()``; R1 must flag the *seeded-but-wrong* ones
+D1 cannot see.
+"""
+
+import random
+
+import numpy as np
+
+GLOBAL_SEED = 99
+
+
+def literal_seed():
+    return random.Random(42)
+
+
+def global_seed():
+    return random.Random(GLOBAL_SEED)
+
+
+def unseeded():
+    return np.random.default_rng()  # lint: ignore[D1]
+
+
+def opaque_seed():
+    return random.Random(fetch_entropy())
+
+
+def fetch_entropy():
+    return 4
+
+
+def param_seed(seed):
+    return random.Random(seed * 2 + 1)
+
+
+def config_seed(cfg):
+    return np.random.default_rng(cfg.seed)
+
+
+def helper_seed(job):
+    return random.Random(derive_seed(job))
+
+
+def derive_seed(job):
+    return job * 31
+
+
+def wrapped_seed(seed):
+    return random.Random(int(abs(seed)) + 7)

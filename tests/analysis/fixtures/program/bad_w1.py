@@ -1,0 +1,24 @@
+"""W1 fixture: wall clock reached through two call hops.
+
+``top -> middle -> leaf -> time.perf_counter()``: only ``leaf`` touches
+``time`` directly (that is also a D1 finding), but W1 must taint
+``middle`` and ``top`` through the call graph.
+"""
+
+import time
+
+
+def leaf():
+    return time.perf_counter()
+
+
+def middle():
+    return leaf() + 1.0
+
+
+def top():
+    return middle() * 2.0
+
+
+def innocent(x):
+    return x + 1

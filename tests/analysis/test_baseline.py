@@ -1,0 +1,81 @@
+"""Baseline add/remove semantics and canonical serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, Violation
+
+
+def v(rule="D1", path="a.py", line=3, message="wall clock"):
+    return Violation(rule_id=rule, path=path, line=line, col=0, message=message)
+
+
+class TestMatching:
+    def test_known_finding_is_baselined(self):
+        baseline = Baseline.from_violations([v()])
+        diff = baseline.diff([v()])
+        assert diff.clean
+        assert len(diff.baselined) == 1
+        assert diff.new == [] and diff.stale == []
+
+    def test_new_finding_fails(self):
+        baseline = Baseline.from_violations([v()])
+        diff = baseline.diff([v(), v(message="other")])
+        assert not diff.clean
+        assert [x.message for x in diff.new] == ["other"]
+
+    def test_fixed_finding_is_stale_and_fails(self):
+        baseline = Baseline.from_violations([v()])
+        diff = baseline.diff([])
+        assert not diff.clean
+        assert diff.stale == [("D1", "a.py", "wall clock")]
+
+    def test_line_moves_do_not_count_as_new(self):
+        baseline = Baseline.from_violations([v(line=3)])
+        diff = baseline.diff([v(line=300)])
+        assert diff.clean
+
+    def test_multiset_counts(self):
+        # Two identical findings grandfathered; fixing one leaves one
+        # stale entry — the baseline must shrink with the fix.
+        baseline = Baseline.from_violations([v(), v()])
+        assert len(baseline) == 2
+        diff = baseline.diff([v()])
+        assert len(diff.baselined) == 1
+        assert diff.stale == [("D1", "a.py", "wall clock")]
+        # A third identical finding would be new, not baselined.
+        diff = baseline.diff([v(), v(), v()])
+        assert len(diff.new) == 1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        baseline = Baseline.from_violations([v(), v(message="m2", rule="V1")])
+        again = Baseline.from_json(baseline.to_json())
+        assert again == baseline
+
+    def test_bytes_are_canonical(self):
+        a = Baseline.from_violations([v(rule="V1"), v(rule="D1")])
+        b = Baseline.from_violations([v(rule="D1"), v(rule="V1")])
+        assert a.to_json() == b.to_json()
+        assert a.to_json().endswith("\n")
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline.from_violations([v()])
+        baseline.save(str(path))
+        assert Baseline.load(str(path)) == baseline
+
+    def test_version_mismatch_rejected(self):
+        payload = json.dumps({"version": 99, "findings": []})
+        with pytest.raises(ValueError, match="version"):
+            Baseline.from_json(payload)
+
+    def test_empty_baseline_document_shape(self):
+        assert json.loads(Baseline().to_json()) == {
+            "version": 1,
+            "findings": [],
+        }

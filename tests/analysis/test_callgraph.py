@@ -1,0 +1,236 @@
+"""Call-graph builder tests: resolution closure, robustness, golden snapshot.
+
+The graph is *over-approximate by design* (name-based attribute
+resolution), so the properties tested here are safety properties: every
+resolved project edge points at an indexed symbol, traversal terminates
+on cycles, and exotic shapes (decorators, ``functools.partial``,
+nested defs, relative imports) never crash the builder.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ModuleUnderLint, ProjectIndex
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+GOLDEN = Path(__file__).resolve().parent / "golden" / "callgraph_flusher.txt"
+
+#: Packages indexed for the golden snapshot — kept to what the flusher
+#: actually touches so unrelated modules cannot churn the golden file.
+FLUSHER_SCOPE = ["core", "mem", "obs", "sim"]
+
+
+def index_source(source: str, path: str = "repro/mod.py") -> ProjectIndex:
+    module = ModuleUnderLint(path, textwrap.dedent(source))
+    return ProjectIndex([module])
+
+
+class TestSymbolTable:
+    def test_functions_classes_and_methods_are_indexed(self):
+        idx = index_source(
+            """
+            class Box:
+                limit = 4
+
+                def __init__(self, n):
+                    self.n = n
+
+                @property
+                def full(self):
+                    return self.n >= self.limit
+
+            def make():
+                return Box(0)
+            """
+        )
+        assert "repro.mod.make" in idx.functions
+        assert "repro.mod.Box" in idx.classes
+        box = idx.classes["repro.mod.Box"]
+        assert "__init__" in box.methods
+        assert "full" in box.properties
+        assert "n" in box.instance_attrs
+        assert "limit" in box.class_attrs
+
+    def test_module_body_is_a_pseudo_function(self):
+        idx = index_source("x = compute()\n\ndef compute():\n    return 1\n")
+        assert "repro.mod.<module>" in idx.functions
+        assert "repro.mod.compute" in idx.graph.edges["repro.mod.<module>"]
+
+    def test_import_aliases_resolve(self):
+        idx = index_source(
+            """
+            import time
+            import numpy as np
+            from functools import partial as p
+            """
+        )
+        imports = idx.imports["repro.mod"]
+        assert imports["time"] == "time"
+        assert imports["np"] == "numpy"
+        assert imports["p"] == "functools.partial"
+
+
+class TestResolution:
+    def test_direct_and_transitive_edges(self):
+        idx = index_source(
+            """
+            def leaf():
+                return 1
+
+            def middle():
+                return leaf()
+
+            def top():
+                return middle()
+            """
+        )
+        g = idx.graph
+        assert "repro.mod.leaf" in g.edges["repro.mod.middle"]
+        assert "repro.mod.middle" in g.edges["repro.mod.top"]
+        tree = g.reachable(["repro.mod.top"])
+        assert {"repro.mod.top", "repro.mod.middle", "repro.mod.leaf"} <= tree
+
+    def test_self_method_resolution_prefers_own_class(self):
+        idx = index_source(
+            """
+            class A:
+                def step(self):
+                    return self.helper()
+
+                def helper(self):
+                    return 1
+
+            class B:
+                def helper(self):
+                    return 2
+            """
+        )
+        edges = idx.graph.edges["repro.mod.A.step"]
+        assert "repro.mod.A.helper" in edges
+        assert "repro.mod.B.helper" not in edges
+
+    def test_super_calls_resolve_to_nothing(self):
+        idx = index_source(
+            """
+            class Base:
+                def __init__(self):
+                    self.x = 1
+
+            class Child(Base):
+                def __init__(self):
+                    super().__init__()
+            """
+        )
+        edges = idx.graph.edges.get("repro.mod.Child.__init__", {})
+        assert "repro.mod.Base.__init__" not in edges
+
+    def test_higher_order_reference_edges(self):
+        idx = index_source(
+            """
+            def worker(x):
+                return x
+
+            def run(apply):
+                return apply(worker)
+            """
+        )
+        assert "repro.mod.worker" in idx.graph.edges["repro.mod.run"]
+
+    def test_reachable_terminates_on_cycles(self):
+        idx = index_source(
+            """
+            def ping():
+                return pong()
+
+            def pong():
+                return ping()
+            """
+        )
+        tree = idx.graph.reachable(["repro.mod.ping"])
+        assert tree == {"repro.mod.ping", "repro.mod.pong"}
+
+    def test_decorators_and_partial_do_not_crash(self):
+        idx = index_source(
+            """
+            import functools
+
+            @functools.lru_cache(maxsize=None)
+            def cached(n):
+                return n
+
+            @property
+            def odd_toplevel_property():
+                return 1
+
+            bound = functools.partial(cached, 3)
+
+            def use():
+                return bound()
+            """
+        )
+        # partial(cached, 3) records a higher-order edge for ``cached``.
+        assert "repro.mod.cached" in idx.graph.edges["repro.mod.<module>"]
+
+
+class TestProperties:
+    """Hypothesis: safety properties over random call topologies."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        calls=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=24
+        ),
+    )
+    def test_closed_under_resolution(self, n, calls):
+        bodies = {i: [] for i in range(n)}
+        for caller, callee in calls:
+            bodies[caller % n].append(callee % n)
+        chunks = []
+        for i in range(n):
+            lines = [f"    f{j}()" for j in bodies[i]] or ["    pass"]
+            chunks.append(f"def f{i}():\n" + "\n".join(lines))
+        idx = index_source("\n\n".join(chunks) + "\n")
+        qualnames = set(idx.functions)
+        for caller, targets in idx.graph.edges.items():
+            assert caller in qualnames
+            for target in targets:
+                if idx.is_project_target(target):
+                    assert (
+                        target in idx.functions or target in idx.classes
+                    ), f"dangling project edge {caller} -> {target}"
+        # Traversal terminates and stays inside the project.
+        tree = idx.graph.reachable(sorted(qualnames))
+        assert tree <= qualnames
+
+
+class TestGoldenSnapshot:
+    def make_index(self) -> ProjectIndex:
+        return ProjectIndex.from_paths(
+            [SRC / "repro" / pkg for pkg in FLUSHER_SCOPE]
+        )
+
+    def test_flusher_call_graph_matches_golden(self):
+        rendered = self.make_index().graph.render_module_edges(
+            "repro.core.flusher"
+        )
+        expected = GOLDEN.read_text(encoding="utf-8")
+        assert rendered == expected, (
+            "call graph of repro.core.flusher drifted from the golden "
+            "snapshot; if the change is intentional regenerate with:\n"
+            "  python -c \"from repro.analysis import ProjectIndex; "
+            "print(ProjectIndex.from_paths(['src/repro/core', "
+            "'src/repro/mem', 'src/repro/obs', 'src/repro/sim'])"
+            ".graph.render_module_edges('repro.core.flusher'), end='')\""
+            " > tests/analysis/golden/callgraph_flusher.txt"
+        )
+
+    def test_rendering_is_deterministic(self):
+        first = self.make_index().graph.render_module_edges("repro.core.flusher")
+        second = self.make_index().graph.render_module_edges("repro.core.flusher")
+        assert first == second

@@ -138,7 +138,14 @@ class TestReporters:
         assert payload["files_checked"] == 2
         assert payload["clean"] is False
         assert payload["violations"] == [
-            {"rule": "D1", "path": "a.py", "line": 3, "col": 4, "message": "wall clock"}
+            {
+                "rule": "D1",
+                "path": "a.py",
+                "line": 3,
+                "col": 4,
+                "message": "wall clock",
+                "severity": "error",
+            }
         ]
 
 

@@ -1,0 +1,342 @@
+"""Whole-program rule tests: W1, R1, K1 (mutation self-test), P1.
+
+The K1 tests are the PR 6 contract guard demanded by the issue: they
+copy the real ``repro/mem`` sources into a scratch tree, doctor one
+kernel, and assert the parity rule fires — proving that deleting a
+``SoATLB`` method or adding an object-kernel-only method fails the
+build, not just this suite.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_project, make_program_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "program"
+SRC = Path(__file__).resolve().parents[2] / "src"
+MEM = SRC / "repro" / "mem"
+
+
+def strict_lint(paths, select=None):
+    return lint_project(paths, rules=[], program_rules=make_program_rules(select))
+
+
+def findings(report, rule_id):
+    return [v for v in report.violations if v.rule_id == rule_id]
+
+
+class TestW1WallClockTaint:
+    def test_two_hop_taint_is_flagged(self):
+        report = strict_lint([FIXTURES / "bad_w1.py"], ["W1"])
+        w1 = findings(report, "W1")
+        by_line = {v.line: v for v in w1}
+        # leaf (direct), middle (one hop), top (two hops) — not innocent.
+        assert len(w1) == 3
+        assert 12 in by_line and "directly" in by_line[12].message
+        assert 16 in by_line and "transitively" in by_line[16].message
+        assert 20 in by_line
+        assert (
+            "top -> bad_w1.middle -> bad_w1.leaf -> time.perf_counter()"
+            in by_line[20].message
+        )
+
+    def test_timer_module_is_exempt(self):
+        report = strict_lint([SRC / "repro" / "perf" / "timer.py"], ["W1"])
+        assert findings(report, "W1") == []
+
+    def test_callers_of_the_timer_barrier_stay_clean(self, tmp_path):
+        # A function that uses wall time *through* best_of is sanctioned.
+        tree = tmp_path / "repro"
+        (tree / "perf").mkdir(parents=True)
+        (tree / "perf" / "timer.py").write_text(
+            (SRC / "repro" / "perf" / "timer.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        (tree / "user.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.perf.timer import best_of
+
+                def bench(fn):
+                    return best_of(3, fn)
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = strict_lint([tree], ["W1"])
+        assert findings(report, "W1") == []
+
+    def test_suppression_comment_silences_w1(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "import time\n\n\ndef f():\n"
+            "    return time.monotonic()  # lint: ignore[W1]\n",
+            encoding="utf-8",
+        )
+        report = strict_lint([path], ["W1"])
+        assert findings(report, "W1") == []
+
+
+class TestR1RNGStreams:
+    def test_bad_constructions_are_flagged(self):
+        report = strict_lint([FIXTURES / "bad_r1.py"], ["R1"])
+        r1 = findings(report, "R1")
+        messages = {v.line: v.message for v in r1}
+        assert len(r1) == 4
+        assert "literal" in messages[18]  # random.Random(42)
+        assert "module-level global `GLOBAL_SEED`" in messages[22]
+        assert "without a seed" in messages[26]
+        assert "opaque call `fetch_entropy(...)`" in messages[30]
+
+    def test_good_constructions_pass(self):
+        report = strict_lint([FIXTURES / "bad_r1.py"], ["R1"])
+        flagged_lines = {v.line for v in findings(report, "R1")}
+        # param_seed / config_seed / helper_seed / wrapped_seed bodies.
+        assert flagged_lines.isdisjoint({38, 42, 46, 54})
+
+    def test_rebound_parameter_loses_seededness(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import random
+
+                def f(seed):
+                    seed = 7
+                    return random.Random(seed)
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = strict_lint([path], ["R1"])
+        assert len(findings(report, "R1")) == 1
+
+    def test_derived_local_keeps_seededness(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            textwrap.dedent(
+                """
+                import random
+
+                def f(base):
+                    derived = base * 1000 + 3
+                    return random.Random(derived)
+                """
+            ),
+            encoding="utf-8",
+        )
+        report = strict_lint([path], ["R1"])
+        assert findings(report, "R1") == []
+
+
+class TestK1KernelParity:
+    """Mutation self-test: doctor one kernel, the rule must fire."""
+
+    def make_tree(self, tmp_path, mutate=None):
+        tree = tmp_path / "repro" / "mem"
+        tree.mkdir(parents=True)
+        for name in ("page_table.py", "tlb.py", "soa.py"):
+            text = (MEM / name).read_text(encoding="utf-8")
+            if mutate is not None:
+                text = mutate(name, text)
+            (tree / name).write_text(text, encoding="utf-8")
+        return tmp_path / "repro"
+
+    def test_pristine_kernels_are_in_parity(self, tmp_path):
+        report = strict_lint([self.make_tree(tmp_path)], ["K1"])
+        assert findings(report, "K1") == []
+
+    def test_deleting_a_soatlb_method_fires(self, tmp_path):
+        def mutate(name, text):
+            if name == "soa.py":
+                assert text.count("def lookup(") == 1
+                return text.replace("def lookup(", "def _lookup_gone(")
+            return text
+
+        report = strict_lint([self.make_tree(tmp_path, mutate)], ["K1"])
+        k1 = findings(report, "K1")
+        assert any(
+            "`lookup`" in v.message and "not on `repro.mem.soa.SoATLB`" in v.message
+            for v in k1
+        )
+
+    def test_method_added_to_object_kernel_only_fires(self, tmp_path):
+        def mutate(name, text):
+            if name == "tlb.py":
+                return text + "\n    def brand_new(self, pfn):\n        return pfn\n"
+            return text
+
+        report = strict_lint([self.make_tree(tmp_path, mutate)], ["K1"])
+        k1 = findings(report, "K1")
+        assert any(
+            "`brand_new`" in v.message
+            and "not on `repro.mem.soa.SoATLB`" in v.message
+            for v in k1
+        )
+
+    def test_method_added_to_soa_kernel_only_fires(self, tmp_path):
+        def mutate(name, text):
+            if name == "soa.py":
+                return text + "\n    def soa_only(self):\n        return 0\n"
+            return text
+
+        report = strict_lint([self.make_tree(tmp_path, mutate)], ["K1"])
+        k1 = findings(report, "K1")
+        assert any(
+            "`soa_only`" in v.message and "only on `repro.mem.soa.SoATLB`" in v.message
+            for v in k1
+        )
+
+    def test_signature_drift_fires(self, tmp_path):
+        def mutate(name, text):
+            if name == "soa.py":
+                return text.replace(
+                    "def lookup(self, pfn: int)",
+                    "def lookup(self, pfn: int, hint: int = 0)",
+                )
+            return text
+
+        report = strict_lint([self.make_tree(tmp_path, mutate)], ["K1"])
+        k1 = findings(report, "K1")
+        assert any("signature drift on `lookup`" in v.message for v in k1)
+
+    def test_missing_twin_class_fires(self, tmp_path):
+        def mutate(name, text):
+            if name == "soa.py":
+                return text.replace("class SoATLB", "class SoATLBRenamed")
+            return text
+
+        report = strict_lint([self.make_tree(tmp_path, mutate)], ["K1"])
+        k1 = findings(report, "K1")
+        assert any("kernel pair incomplete" in v.message for v in k1)
+
+
+class TestP1ForkSafety:
+    def make_tree(self, tmp_path, worker_src, engine_src):
+        tree = tmp_path / "repro" / "parallel"
+        tree.mkdir(parents=True)
+        (tree / "worker.py").write_text(
+            textwrap.dedent(worker_src), encoding="utf-8"
+        )
+        (tree / "engine.py").write_text(
+            textwrap.dedent(engine_src), encoding="utf-8"
+        )
+        return tmp_path / "repro"
+
+    def test_lambda_entry_is_flagged(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            "def unused():\n    pass\n",
+            """
+            def run(pool):
+                return pool.submit(lambda: 1)
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert any(
+            "lambda" in v.message for v in findings(report, "P1")
+        )
+
+    def test_nested_function_entry_is_flagged(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            "def unused():\n    pass\n",
+            """
+            def run(pool):
+                def job():
+                    return 1
+                return pool.submit(job)
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert any("closure" in v.message for v in findings(report, "P1"))
+
+    def test_worker_tree_global_write_is_flagged(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            """
+            CACHE = {}
+
+            def job(payload):
+                return helper(payload)
+
+            def helper(payload):
+                CACHE[payload] = 1
+                return CACHE
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job, 3)
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        p1 = findings(report, "P1")
+        assert any(
+            "`CACHE`" in v.message and "worker.helper" in v.message for v in p1
+        )
+
+    def test_global_declaration_in_worker_tree_is_flagged(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            """
+            COUNT = 0
+
+            def job():
+                global COUNT
+                COUNT = COUNT + 1
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job)
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert any(
+            "global COUNT" in v.message for v in findings(report, "P1")
+        )
+
+    def test_module_level_entry_with_local_state_is_clean(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            """
+            def job(payload):
+                local = {}
+                local[payload] = 1
+                return local
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job, 3)
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert findings(report, "P1") == []
+
+    def test_shipped_parallel_package_is_fork_safe(self):
+        report = strict_lint([SRC / "repro"], ["P1"])
+        assert findings(report, "P1") == []
+
+
+class TestSelection:
+    def test_make_program_rules_filters_silently(self):
+        # Mixed selections (module + program IDs) must not raise here.
+        rules = make_program_rules(["D1", "W1"])
+        assert [r.rule_id for r in rules] == ["W1"]
+
+    def test_all_four_rules_register(self):
+        assert [r.rule_id for r in make_program_rules()] == [
+            "K1",
+            "P1",
+            "R1",
+            "W1",
+        ]

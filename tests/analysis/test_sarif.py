@@ -1,0 +1,224 @@
+"""SARIF 2.1.0 reporter: structural validity and baseline suppressions.
+
+The official OASIS schema is several thousand lines; ``SARIF_SCHEMA``
+below is a vendored subset covering everything this reporter emits
+(version/schema pinning, driver rules, results, locations, regions,
+suppressions) with ``required``/``enum`` constraints taken verbatim
+from sarif-schema-2.1.0.  Validation runs through ``jsonschema`` so a
+malformed document fails the same way GitHub's ingestion would.
+"""
+
+from __future__ import annotations
+
+import json
+
+import jsonschema
+
+from repro.analysis import (
+    LintReport,
+    Violation,
+    make_program_rules,
+    make_rules,
+    render_sarif,
+    sarif_document,
+)
+
+#: Vendored subset of sarif-schema-2.1.0 (constraints preserved).
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                                "defaultConfiguration": {
+                                                    "type": "object",
+                                                    "properties": {
+                                                        "level": {
+                                                            "enum": [
+                                                                "none",
+                                                                "note",
+                                                                "warning",
+                                                                "error",
+                                                            ]
+                                                        }
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none",
+                                        "note",
+                                        "warning",
+                                        "error",
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "suppressions": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["kind"],
+                                        "properties": {
+                                            "kind": {
+                                                "enum": [
+                                                    "inSource",
+                                                    "external",
+                                                ]
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sample_report():
+    return LintReport(
+        files_checked=2,
+        violations=[
+            Violation("D1", "src/a.py", 3, 4, "wall clock"),
+            Violation("W1", "src/b.py", 9, 0, "taint path", severity="warning"),
+        ],
+    )
+
+
+def all_rules():
+    return list(make_rules()) + list(make_program_rules())
+
+
+class TestSarifDocument:
+    def test_validates_against_schema(self):
+        doc = sarif_document(sample_report(), rules=all_rules())
+        jsonschema.validate(doc, SARIF_SCHEMA)
+
+    def test_empty_report_validates(self):
+        doc = sarif_document(LintReport(files_checked=5, violations=[]))
+        jsonschema.validate(doc, SARIF_SCHEMA)
+        assert doc["runs"][0]["results"] == []
+
+    def test_version_and_schema_pinned(self):
+        doc = sarif_document(sample_report())
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_rules_are_sorted_and_indexed(self):
+        doc = sarif_document(sample_report(), rules=all_rules())
+        driver = doc["runs"][0]["tool"]["driver"]
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == sorted(ids)
+        for result in doc["runs"][0]["results"]:
+            index = result["ruleIndex"]
+            assert driver["rules"][index]["id"] == result["ruleId"]
+
+    def test_result_carries_location_and_level(self):
+        doc = sarif_document(sample_report(), rules=all_rules())
+        first, second = doc["runs"][0]["results"]
+        region = first["locations"][0]["physicalLocation"]["region"]
+        assert region == {"startLine": 3, "startColumn": 5}  # 1-based col
+        assert first["level"] == "error"
+        assert second["level"] == "warning"
+
+    def test_baselined_findings_carry_suppressions(self):
+        report = sample_report()
+        doc = sarif_document(
+            report, rules=all_rules(), baselined=[report.violations[0]]
+        )
+        jsonschema.validate(doc, SARIF_SCHEMA)
+        first, second = doc["runs"][0]["results"]
+        assert first["suppressions"][0]["kind"] == "external"
+        assert "suppressions" not in second
+
+    def test_render_is_deterministic_json(self):
+        text = render_sarif(sample_report(), rules=all_rules())
+        assert text == render_sarif(sample_report(), rules=all_rules())
+        json.loads(text)  # parses

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import Baseline, lint_paths, lint_project
 
 SRC = Path(__file__).resolve().parents[2] / "src"
+BASELINE = Path(__file__).resolve().parents[2] / "lint_baseline.json"
 
 
 def test_src_tree_lints_clean():
@@ -21,3 +22,22 @@ def test_src_tree_lints_clean():
     assert report.clean, f"src/ has lint violations:\n{rendered}"
     # Sanity: the walk actually covered the package, not an empty dir.
     assert report.files_checked >= 50
+
+
+def test_src_tree_passes_whole_program_pass():
+    # The strict pass: per-module rules plus W1/R1/K1/P1 over the call
+    # graph of the entire package, exactly what CI runs.
+    report = lint_project([SRC])
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.clean, f"src/ has whole-program violations:\n{rendered}"
+
+
+def test_checked_in_baseline_matches_current_findings():
+    # Drift gate in test form: regenerating the baseline from the
+    # current strict findings must reproduce the checked-in bytes.
+    report = lint_project([SRC])
+    regenerated = Baseline.from_violations(report.violations).to_json()
+    assert regenerated == BASELINE.read_text(encoding="utf-8"), (
+        "lint_baseline.json is stale; regenerate with "
+        "`python -m repro.analysis src --strict --update-baseline`"
+    )
