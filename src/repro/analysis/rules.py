@@ -263,6 +263,8 @@ EVENT_CLASS_NAMES = frozenset(
         "FlushComplete",
         "SSDFault",
         "BatteryDegraded",
+        "ShardRebalance",
+        "BudgetLease",
     }
 )
 

@@ -198,11 +198,22 @@ def build_viyojit(
     ssd: Optional[SSD] = None,
     flush_tlb_on_scan: bool = True,
     proactive: bool = True,
+    budget_pages: Optional[int] = None,
 ) -> Tuple[Simulation, Viyojit]:
-    """A started Viyojit system at a budget fraction of the initial heap."""
+    """A started Viyojit system at a budget fraction of the initial heap.
+
+    ``budget_pages`` overrides the fraction-derived budget with an exact
+    page count — the cluster layer leases budgets from a shared battery
+    pool, and a leased shard must run at precisely its lease, not at a
+    budget re-derived from a per-machine fraction.
+    """
     sim = Simulation()
     config = ViyojitConfig(
-        dirty_budget_pages=scale.budget_pages_for_fraction(budget_fraction),
+        dirty_budget_pages=(
+            budget_pages
+            if budget_pages is not None
+            else scale.budget_pages_for_fraction(budget_fraction)
+        ),
         flush_tlb_on_scan=flush_tlb_on_scan,
         proactive=proactive,
     )
@@ -527,15 +538,24 @@ def run_workload(
     flush_tlb_on_scan: bool = True,
     proactive: bool = True,
     execution: str = "per-op",
+    budget_pages: Optional[int] = None,
 ) -> RunResult:
     """Convenience: build, load, run.  ``budget_fraction=None`` = baseline.
 
     ``execution="batched"`` routes the load and run phases through the
     fused batch paths — same simulated results, fewer wall seconds; the
-    sweep engine and the batch-speedup benchmark use it.
+    sweep engine and the batch-speedup benchmark use it.  An explicit
+    ``budget_pages`` (cluster lease) overrides the fraction-derived
+    budget; it is an error without a non-``None`` ``budget_fraction``,
+    because the baseline has no budget to override.
     """
     if execution not in ("per-op", "batched"):
         raise ValueError(f"unknown execution mode: {execution!r}")
+    if budget_pages is not None and budget_fraction is None:
+        raise ValueError(
+            "budget_pages overrides a Viyojit budget; the full-battery "
+            "baseline (budget_fraction=None) has none"
+        )
     if budget_fraction is None:
         sim, system = build_baseline(scale)
     else:
@@ -544,6 +564,7 @@ def run_workload(
             budget_fraction,
             flush_tlb_on_scan=flush_tlb_on_scan,
             proactive=proactive,
+            budget_pages=budget_pages,
         )
     runner = YCSBRunner(sim, system, scale, ordered=spec.scan_proportion > 0)
     if execution == "batched":

@@ -22,6 +22,9 @@ Usage::
     python -m repro sweep [--jobs N] [--budgets-gb 2,6,10,14,18]
                           [--grid GRID.json] [--out SWEEP.json]
                                               # deterministic multi-process sweep
+    python -m repro cluster [--shard-counts 1,4,16] [--total-budgets-gb 2,6,10]
+                            [--jobs N] [--out CLUSTER.json]
+                                              # sharded cluster w/ shared battery pool
 
 Every subcommand prints the same ASCII rows the corresponding benchmark
 asserts on, so the CLI and the test suite cannot drift apart.
@@ -75,6 +78,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
         {"command": "perf", "regenerates": "Simulator wall-clock benchmarks (BENCH.json)"},
         {"command": "sweep", "regenerates": "Budget x skew x workload grid over a process pool (SWEEP.json)"},
+        {"command": "cluster", "regenerates": "Sharded cluster over a shared battery pool (CLUSTER.json)"},
     ]
     print(format_table(rows, title="Available experiment regenerators"))
     return 0
@@ -490,6 +494,99 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterGrid, run_cluster_grid
+    from repro.cluster.report import dumps
+    from repro.parallel import SweepError
+
+    if args.shards is not None:
+        shard_counts = (args.shards,)
+    else:
+        shard_counts = tuple(
+            int(token) for token in args.shard_counts.split(",")
+        )
+    budgets: list = [] if args.no_baseline else [None]
+    budgets.extend(
+        float(token) for token in args.total_budgets_gb.split(",")
+    )
+    workload = args.workload.strip().upper()
+    if not workload.startswith("YCSB-"):
+        workload = f"YCSB-{workload}"
+    quotas = None
+    if args.tenant_quotas:
+        quotas = tuple(
+            float(token) for token in args.tenant_quotas.split(",")
+        )
+    degrade: tuple = ()
+    if args.pool_degrade:
+        steps = []
+        for token in args.pool_degrade.split(","):
+            epoch_text, _, fraction_text = token.partition(":")
+            steps.append((int(epoch_text), float(fraction_text)))
+        degrade = tuple(steps)
+    grid = ClusterGrid(
+        shard_counts=shard_counts,
+        total_budgets_gb=tuple(budgets),
+        workload=workload,
+        theta=args.theta,
+        seed=args.seed,
+        record_count=args.records,
+        operation_count=args.ops,
+        epochs=args.epochs,
+        tenants=args.tenants,
+        tenant_quotas=quotas,
+        vnodes=args.vnodes,
+        ring_seed=args.ring_seed,
+        pool_degrade=degrade,
+    )
+    try:
+        report = run_cluster_grid(
+            grid,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            max_retries=args.retries,
+            progress=print if args.progress else None,
+        )
+    except KeyboardInterrupt:
+        print(
+            "cluster run interrupted; partial results discarded",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepError as exc:
+        print(f"cluster run failed: {exc}", file=sys.stderr)
+        print(
+            f"partial results: {len(exc.partial)} shard job(s) completed "
+            f"(failed: {sorted(exc.failures)})",
+            file=sys.stderr,
+        )
+        return 1
+    rows = [
+        {
+            "shards": row["shards"],
+            "total_battery_gb": row["total_budget_gb"],
+            "cluster_kops": row["cluster_kops"],
+            "nvdram_kops": row.get("nvdram_kops", "-"),
+            "overhead_pct": row.get("overhead_pct", "-"),
+        }
+        for row in report["tables"]["throughput_vs_total_battery"]
+    ]
+    if rows:
+        print(
+            format_table(
+                rows,
+                title=f"Cluster throughput vs total battery "
+                f"({len(report['runs'])} runs, --jobs {args.jobs})",
+            )
+        )
+    print(f"cluster checksum: {report['checksum_sha256']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(dumps(report, strip_wall=args.strip_wall))
+        print(f"wrote {args.out}")
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import compare_reports, run_suite
     from repro.perf.report import dumps
@@ -778,6 +875,56 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--progress", action="store_true",
                        help="print per-job progress lines")
     sweep.set_defaults(func=cmd_sweep)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded cluster serving one keyspace from a shared battery "
+        "pool; emits the checksummed CLUSTER.json",
+    )
+    cluster.add_argument("--shards", type=int, default=None,
+                         help="single shard count (overrides --shard-counts)")
+    cluster.add_argument("--shard-counts", type=str, default="1,4,16",
+                         help="comma-separated shard counts (default 1,4,16)")
+    cluster.add_argument("--total-budgets-gb", type=str, default="2,6,10",
+                         help="comma-separated pool batteries in paper GB")
+    cluster.add_argument("--no-baseline", action="store_true",
+                         help="skip the full-battery baseline clusters")
+    cluster.add_argument("--workload", type=str, default="A",
+                         help="YCSB workload (default A)")
+    cluster.add_argument("--theta", type=float, default=0.99,
+                         help="zipfian theta (default 0.99)")
+    cluster.add_argument("--seed", type=int, default=42,
+                         help="workload seed (default 42)")
+    cluster.add_argument("--records", type=int, default=2_000,
+                         help="global records (default 2000)")
+    cluster.add_argument("--ops", type=int, default=6_000,
+                         help="global operations (default 6000)")
+    cluster.add_argument("--epochs", type=int, default=4,
+                         help="rebalance epochs per run (default 4)")
+    cluster.add_argument("--tenants", type=int, default=1,
+                         help="tenants sharing the keyspace (default 1)")
+    cluster.add_argument("--tenant-quotas", type=str, default=None,
+                         help="comma-separated quotas summing to 1")
+    cluster.add_argument("--vnodes", type=int, default=32,
+                         help="virtual nodes per shard (default 32)")
+    cluster.add_argument("--ring-seed", type=int, default=17,
+                         help="consistent-hash ring seed (default 17)")
+    cluster.add_argument("--pool-degrade", type=str, default=None,
+                         help="epoch:fraction pool-health losses, "
+                         "comma-separated (e.g. 2:0.3)")
+    cluster.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process serial)")
+    cluster.add_argument("--timeout", type=float, default=None,
+                         help="per-shard-job timeout in wall seconds")
+    cluster.add_argument("--retries", type=int, default=2,
+                         help="max retries per failed job (default 2)")
+    cluster.add_argument("--out", type=str, default=None,
+                         help="write CLUSTER.json to this path")
+    cluster.add_argument("--strip-wall", action="store_true",
+                         help="write the deterministic view (no wall section)")
+    cluster.add_argument("--progress", action="store_true",
+                         help="print per-job progress lines")
+    cluster.set_defaults(func=cmd_cluster)
     return parser
 
 

@@ -1,0 +1,57 @@
+"""Cluster-scale sharded serving with a shared battery pool.
+
+The paper decouples one machine's battery from its DRAM capacity; this
+package decouples a *fleet's* battery from its fleet-wide DRAM: a
+seeded consistent-hash ring routes one global keyspace across N Viyojit
+shards, and every shard's dirty budget is a lease from one shared
+:class:`~repro.cluster.pool.BatteryPool`, re-apportioned at rebalance
+epochs as write pressure shifts.  Execution rides the deterministic
+:mod:`repro.parallel` engine, so the merged ``CLUSTER.json`` is
+byte-identical at any ``--jobs`` count.
+"""
+
+from repro.cluster.pool import BatteryPool, PoolError, PoolLease
+from repro.cluster.rebalancer import apportion, moved_pages, plan_epoch
+from repro.cluster.report import (
+    CLUSTER_SCHEMA_VERSION,
+    build_cluster_report,
+)
+from repro.cluster.ring import RING_BITS, RING_SIZE, HashRing
+from repro.cluster.runner import (
+    CLUSTER_POOL_ENTRY,
+    ClusterGrid,
+    ClusterPlan,
+    ClusterSpec,
+    ShardJob,
+    plan_cluster,
+    pool_run_shard_job,
+    probe_demands,
+    run_cluster_grid,
+    run_shard_job,
+    shard_jobs,
+)
+
+__all__ = [
+    "BatteryPool",
+    "CLUSTER_POOL_ENTRY",
+    "CLUSTER_SCHEMA_VERSION",
+    "ClusterGrid",
+    "ClusterPlan",
+    "ClusterSpec",
+    "HashRing",
+    "PoolError",
+    "PoolLease",
+    "RING_BITS",
+    "RING_SIZE",
+    "ShardJob",
+    "apportion",
+    "build_cluster_report",
+    "moved_pages",
+    "plan_cluster",
+    "plan_epoch",
+    "pool_run_shard_job",
+    "probe_demands",
+    "run_cluster_grid",
+    "run_shard_job",
+    "shard_jobs",
+]

@@ -1,0 +1,123 @@
+"""Deterministic budget apportionment for the shared battery pool.
+
+The rebalancer answers one question every epoch: given what each shard
+(and tenant) is writing, how should the pool's budget pages be divided?
+The answer is largest-remainder apportionment — proportional shares
+floored to integers, leftover pages handed out by descending fractional
+remainder with index-order tie-breaks — because it is exact (grants sum
+to precisely the distributable total), proportional, and a pure function
+of its inputs.  No RNG, no iteration-order dependence: cross-``--jobs``
+byte-identity of CLUSTER.json rests on this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def apportion(
+    total: int,
+    weights: Sequence[float],
+    floor: int = 0,
+) -> List[int]:
+    """Split ``total`` integer units proportionally to ``weights``.
+
+    Every recipient gets at least ``floor`` units; the remainder is
+    divided by the largest-remainder method (ties broken by index, so
+    the result is deterministic).  All-zero weights fall back to an even
+    split.  The grants always sum to exactly ``total``.
+    """
+    n = len(weights)
+    if n == 0:
+        raise ValueError("apportion needs at least one recipient")
+    if floor < 0:
+        raise ValueError(f"floor must be non-negative: {floor}")
+    if total < floor * n:
+        raise ValueError(
+            f"total {total} cannot cover floor {floor} x {n} recipients"
+        )
+    for weight in weights:
+        if weight < 0:
+            raise ValueError(f"weights must be non-negative: {weight}")
+    effective = list(weights)
+    if not any(effective):
+        effective = [1.0] * n
+    distributable = total - floor * n
+    weight_sum = float(sum(effective))
+    quotas = [distributable * weight / weight_sum for weight in effective]
+    grants = [int(quota) for quota in quotas]
+    leftover = distributable - sum(grants)
+    # Largest remainder first; among equal remainders, lowest index.
+    order = sorted(
+        range(n), key=lambda at: (-(quotas[at] - grants[at]), at)
+    )
+    for at in order[:leftover]:
+        grants[at] += 1
+    return [floor + grant for grant in grants]
+
+
+def plan_epoch(
+    capacity_pages: int,
+    demands: Sequence[Sequence[int]],
+    tenant_quotas: Sequence[float],
+    floor_pages: int,
+) -> Tuple[List[List[int]], List[int]]:
+    """One rebalance epoch: tenant isolation, then per-shard demand.
+
+    ``demands[tenant][shard]`` is the demand signal (distinct keys
+    written this epoch).  Capacity splits in two stages:
+
+    1. every shard is floored at ``floor_pages`` off the top (a live
+       Viyojit instance needs a positive budget even when idle);
+    2. the rest is divided between tenants by their static quotas —
+       *isolation*: one tenant's write burst cannot consume another
+       tenant's share — and each tenant's pool is then apportioned
+       across shards by that tenant's observed demand.
+
+    Returns ``(grants, leases)``: ``grants[tenant][shard]`` above the
+    floor, and ``leases[shard]`` = floor + its grants, summing to
+    exactly ``capacity_pages``.
+    """
+    tenants = len(demands)
+    if tenants == 0:
+        raise ValueError("plan_epoch needs at least one tenant")
+    shards = len(demands[0])
+    if shards == 0:
+        raise ValueError("plan_epoch needs at least one shard")
+    for row in demands:
+        if len(row) != shards:
+            raise ValueError("ragged demand matrix")
+    if len(tenant_quotas) != tenants:
+        raise ValueError(
+            f"{len(tenant_quotas)} quotas for {tenants} tenants"
+        )
+    if floor_pages <= 0:
+        raise ValueError(f"floor_pages must be positive: {floor_pages}")
+    tenant_pools = apportion(
+        capacity_pages - floor_pages * shards, tenant_quotas, floor=0
+    )
+    grants = [
+        apportion(pool, row, floor=0)
+        for pool, row in zip(tenant_pools, demands)
+    ]
+    leases = [
+        floor_pages + sum(grants[tenant][shard] for tenant in range(tenants))
+        for shard in range(shards)
+    ]
+    return grants, leases
+
+
+def moved_pages(
+    previous: Sequence[int], current: Sequence[int]
+) -> int:
+    """Budget pages that changed shards between two lease vectors.
+
+    Measured as the pages gained by growing shards; when both vectors
+    sum to the same capacity this equals the pages shed by shrinking
+    shards, i.e. the budget that physically "moved".
+    """
+    if len(previous) != len(current):
+        raise ValueError("lease vectors must have equal length")
+    return sum(
+        max(0, now - before) for before, now in zip(previous, current)
+    )

@@ -1,0 +1,192 @@
+"""Merged cluster report (``CLUSTER.json``).
+
+Same determinism contract as ``SWEEP.json``
+(:mod:`repro.parallel.report`, whose canonicalisation, checksum, and
+``deterministic_view`` helpers this module reuses): results merge by
+global job index, wall-clock data is quarantined under the top-level
+``wall`` key, and the embedded sha256 covers exactly the deterministic
+view — so two cluster runs agree iff their checksums agree, regardless
+of ``--jobs`` count, completion order, or retry history.
+
+On top of the per-shard payloads the report adds the coordinator's
+plan: ring checksums, the demand matrices, every epoch's leases and
+rebalance events, and per-run aggregates (total throughput = total ops
+over the *slowest* shard's simulated time — shards serve in parallel).
+The ``throughput_vs_total_battery`` table is the Fig-7-style curve at
+cluster scale: x = total pool battery in paper GB, one line per shard
+count, baseline-normalized when the grid includes the full-battery
+cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TYPE_CHECKING
+
+from repro.bench.reporting import overhead_percent
+from repro.parallel.report import checksum, deterministic_view, dumps
+from repro.perf.timer import timestamp
+
+if TYPE_CHECKING:
+    from repro.cluster.runner import ClusterGrid, ClusterPlan
+
+__all__ = [
+    "CLUSTER_SCHEMA_VERSION",
+    "build_cluster_report",
+    "checksum",
+    "deterministic_view",
+    "dumps",
+]
+
+CLUSTER_SCHEMA_VERSION = 1
+
+
+def _run_summary(
+    plan: "ClusterPlan", shards: List[dict]
+) -> Dict[str, object]:
+    """Per-run aggregates over the run's shard payloads."""
+    total_ops = sum(shard["result"]["ops_executed"] for shard in shards)
+    routed = sum(shard["result"]["routed_ops"] for shard in shards)
+    # Shards serve concurrently: the cluster finishes when its slowest
+    # shard does, so cluster throughput is total ops / max shard time.
+    slowest_ns = max(shard["result"]["sim_elapsed_ns"] for shard in shards)
+    throughput_kops = (
+        round(total_ops / slowest_ns * 1e6, 3) if slowest_ns > 0 else 0.0
+    )
+    tenants = len(shards[0]["result"]["tenant_ops"])
+    tenant_ops = [
+        sum(shard["result"]["tenant_ops"][tenant] for shard in shards)
+        for tenant in range(tenants)
+    ]
+    summary: Dict[str, object] = {
+        "shards": plan.spec.shards,
+        "total_budget_gb": plan.spec.total_budget_gb(),
+        "total_ops": total_ops,
+        "routed_ops": routed,
+        "throughput_kops": throughput_kops,
+        "slowest_shard_ns": slowest_ns,
+        "tenant_ops": tenant_ops,
+        "records_loaded": sum(
+            shard["result"]["records_loaded"] for shard in shards
+        ),
+    }
+    if plan.schedules is not None:
+        summary["pool"] = {
+            "capacity_schedule": list(plan.capacity_schedule),
+            "leased_per_epoch": [
+                sum(lease.pages for lease in epoch_leases)
+                for epoch_leases in plan.leases
+            ],
+            "moved_per_epoch": [0]
+            + [
+                sum(
+                    max(
+                        0,
+                        plan.leases[epoch][shard].pages
+                        - plan.leases[epoch - 1][shard].pages,
+                    )
+                    for shard in range(plan.spec.shards)
+                )
+                for epoch in range(1, len(plan.leases))
+            ],
+        }
+    return summary
+
+
+def _battery_rows(runs: List[dict]) -> List[dict]:
+    """Fig-7 at cluster scale: throughput vs. total pool battery.
+
+    One row per budgeted run; the same-shard-count full-battery cluster
+    (``total_budget_gb`` ``None``) supplies the baseline column and the
+    overhead-% metric when present in the same grid.
+    """
+    baselines: Dict[int, float] = {}
+    for run in runs:
+        summary = run["summary"]
+        if summary["total_budget_gb"] is None:
+            baselines[summary["shards"]] = summary["throughput_kops"]
+    rows = []
+    for run in runs:
+        summary = run["summary"]
+        budget_gb = summary["total_budget_gb"]
+        if budget_gb is None:
+            continue
+        row: Dict[str, object] = {
+            "shards": summary["shards"],
+            "total_budget_gb": budget_gb,
+            "cluster_kops": summary["throughput_kops"],
+        }
+        baseline = baselines.get(summary["shards"])
+        if baseline is not None:
+            row["nvdram_kops"] = baseline
+            row["overhead_pct"] = (
+                round(
+                    overhead_percent(baseline, summary["throughput_kops"]), 2
+                )
+                if baseline > 0
+                else None
+            )
+        rows.append(row)
+    return rows
+
+
+def build_cluster_report(
+    grid: "ClusterGrid",
+    plans: Sequence["ClusterPlan"],
+    results: Dict[int, dict],
+    *,
+    workers: int,
+    total_wall_s: float,
+    retries: int = 0,
+) -> dict:
+    """Merge shard payloads and coordinator plans into CLUSTER.json.
+
+    ``results`` maps global job index ->
+    :func:`repro.cluster.runner.run_shard_job` payload.  Indices are
+    assigned by :func:`repro.cluster.runner.shard_jobs` (plan order,
+    then shard order) — the same arithmetic slices them back here.
+    """
+    expected = sum(plan.spec.shards for plan in plans)
+    missing = set(range(expected)) - set(results)
+    if missing:
+        raise ValueError(f"results missing job indices: {sorted(missing)}")
+    runs = []
+    job_wall_s: Dict[str, float] = {}
+    index = 0
+    for plan in plans:
+        shards = []
+        for _ in range(plan.spec.shards):
+            payload = results[index]
+            shards.append(
+                {"job": payload["job"], "result": payload["result"]}
+            )
+            job_wall_s[str(index)] = round(payload["wall_s"], 6)
+            index += 1
+        runs.append(
+            {
+                "spec": plan.spec.as_dict(),
+                "ring_checksum": plan.ring_checksum,
+                "demands": plan.demands,
+                "leases": [
+                    [lease.as_dict() for lease in epoch_leases]
+                    for epoch_leases in plan.leases
+                ],
+                "events": plan.events,
+                "shards": shards,
+                "summary": _run_summary(plan, shards),
+            }
+        )
+    report: Dict[str, object] = {
+        "schema_version": CLUSTER_SCHEMA_VERSION,
+        "grid": grid.as_dict(),
+        "runs": runs,
+        "tables": {"throughput_vs_total_battery": _battery_rows(runs)},
+    }
+    report["checksum_sha256"] = checksum(report)
+    report["wall"] = {
+        "workers": workers,
+        "retries": retries,
+        "total_wall_s": round(total_wall_s, 6),
+        "job_wall_s": job_wall_s,
+        "generated_at_unix": round(timestamp(), 3),
+    }
+    return report

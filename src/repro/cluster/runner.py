@@ -1,0 +1,771 @@
+"""Cluster runner: N Viyojit shards leasing budgets from a shared pool.
+
+Simulates datacenter-scale serving of one global YCSB keyspace: a seeded
+consistent-hash ring routes every operation to one of N shards, each
+shard is a full Viyojit instance (own NV-DRAM region, own flusher, own
+SSD), and all dirty budgets are leased from one shared
+:class:`~repro.cluster.pool.BatteryPool` that re-apportions capacity at
+rebalance-epoch boundaries as write pressure shifts.
+
+Determinism protocol (everything is a pure function of the spec):
+
+1. **Demand probe** — the coordinator streams the global op stream once
+   and counts distinct written keys per (tenant, shard, epoch segment).
+   Zipfian skew shows up here as hot shards demanding more budget.
+2. **Lease planning** — *reactive* rebalancing: epoch 0 is an even
+   split (no history yet), epoch ``e`` is apportioned from the demand
+   observed during epoch ``e-1``, with pool degradation steps applied
+   at their scheduled epochs.  The coordinator emits
+   :class:`~repro.obs.events.ShardRebalance` /
+   :class:`~repro.obs.events.BudgetLease` events.
+3. **Shard execution** — one hermetic :class:`ShardJob` per shard rides
+   :func:`repro.parallel.engine.execute_jobs` (one shard per worker
+   process, any ``--jobs`` count, order-blind merge).  Each worker
+   rebuilds the ring, replays the global stream filtered to its own
+   keys, and re-tunes its dirty budget to the leased schedule at
+   segment boundaries (shrink drains first, exactly like section 8's
+   battery-degradation path).
+
+The merged CLUSTER.json's ``deterministic_view`` is therefore
+byte-identical at any worker count — the cross-shard determinism test
+suite pins it, SIGKILLed shard workers included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import (
+    ExperimentScale,
+    PAPER_HEAP_GB,
+    YCSBRunner,
+    build_baseline,
+    build_viyojit,
+    value_bytes,
+)
+from repro.cluster.pool import BatteryPool, PoolLease
+from repro.cluster.ring import HashRing
+from repro.core.runtime import NVDRAMSystem, Viyojit
+from repro.obs.events import BudgetLease, ShardRebalance
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.engine import Progress, execute_jobs
+from repro.parallel.worker import (
+    arm_job_timeout,
+    disarm_job_timeout,
+    maybe_kill_once,
+    result_payload,
+)
+from repro.perf.timer import best_of
+from repro.workloads.ycsb import (
+    Operation,
+    YCSB_WORKLOADS,
+    generate_operations,
+    key_index,
+    load_operations,
+)
+
+#: Pool entry for shard jobs (resolved by the engine's dispatcher).
+CLUSTER_POOL_ENTRY = "repro.cluster.runner:pool_run_shard_job"
+
+#: Default Fig-7-style x-axis: total pool battery in paper GB.
+DEFAULT_TOTAL_BUDGETS_GB = (2.0, 6.0, 10.0)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster run: N shards serving one global keyspace.
+
+    ``total_budget_fraction`` is the *pool* battery as a fraction of the
+    global initial heap (``None`` = full-battery baseline cluster, every
+    shard an unconstrained NV-DRAM instance).  ``pool_degrade`` lists
+    ``(epoch, fraction)`` health losses applied to the shared pool
+    before that epoch's rebalance.
+    """
+
+    shards: int
+    total_budget_fraction: Optional[float]
+    workload: str = "YCSB-A"
+    theta: float = 0.99
+    seed: int = 42
+    record_count: int = 2_000
+    operation_count: int = 6_000
+    epochs: int = 4
+    tenants: int = 1
+    tenant_quotas: Optional[Tuple[float, ...]] = None
+    vnodes: int = 32
+    ring_seed: int = 17
+    floor_pages: int = 1
+    pool_degrade: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive: {self.shards}")
+        if self.workload not in YCSB_WORKLOADS:
+            raise ValueError(
+                f"unknown workload {self.workload!r}; choose from "
+                f"{sorted(YCSB_WORKLOADS)}"
+            )
+        if (
+            self.total_budget_fraction is not None
+            and self.total_budget_fraction <= 0
+        ):
+            raise ValueError(
+                f"total budget fraction must be positive: "
+                f"{self.total_budget_fraction}"
+            )
+        if not 0 < self.theta < 1:
+            raise ValueError(f"theta must be in (0, 1): {self.theta}")
+        if self.record_count <= 0:
+            raise ValueError(
+                f"record_count must be positive: {self.record_count}"
+            )
+        if self.operation_count <= 0:
+            raise ValueError(
+                f"operation_count must be positive: {self.operation_count}"
+            )
+        if self.epochs <= 0:
+            raise ValueError(f"epochs must be positive: {self.epochs}")
+        if self.tenants <= 0:
+            raise ValueError(f"tenants must be positive: {self.tenants}")
+        if self.tenant_quotas is not None:
+            object.__setattr__(
+                self, "tenant_quotas", tuple(self.tenant_quotas)
+            )
+            if len(self.tenant_quotas) != self.tenants:
+                raise ValueError(
+                    f"{len(self.tenant_quotas)} quotas for "
+                    f"{self.tenants} tenants"
+                )
+        if self.vnodes <= 0:
+            raise ValueError(f"vnodes must be positive: {self.vnodes}")
+        if self.floor_pages <= 0:
+            raise ValueError(
+                f"floor_pages must be positive: {self.floor_pages}"
+            )
+        normalized = tuple(
+            (int(epoch), float(fraction))
+            for epoch, fraction in self.pool_degrade
+        )
+        object.__setattr__(self, "pool_degrade", normalized)
+        for epoch, fraction in normalized:
+            if not 0 <= epoch < self.epochs:
+                raise ValueError(
+                    f"degradation epoch {epoch} outside [0, {self.epochs})"
+                )
+            if not 0 < fraction < 1:
+                raise ValueError(
+                    f"degradation fraction must be in (0, 1): {fraction}"
+                )
+
+    def scale(self) -> ExperimentScale:
+        """The global dataset's experiment scale (shared by all shards)."""
+        return ExperimentScale(
+            record_count=self.record_count,
+            operation_count=self.operation_count,
+            zipf_theta=self.theta,
+            seed=self.seed,
+        )
+
+    def quotas(self) -> Tuple[float, ...]:
+        if self.tenant_quotas is not None:
+            return self.tenant_quotas
+        return tuple(1.0 / self.tenants for _ in range(self.tenants))
+
+    def pool_capacity_pages(self) -> Optional[int]:
+        """Total pool budget in pages (None for the baseline cluster)."""
+        if self.total_budget_fraction is None:
+            return None
+        derived = int(
+            round(
+                self.total_budget_fraction * self.scale().initial_heap_pages
+            )
+        )
+        return max(self.shards * self.floor_pages, derived)
+
+    def total_budget_gb(self) -> Optional[float]:
+        """The paper-GB label of the pool battery (Fig-7-style axis)."""
+        if self.total_budget_fraction is None:
+            return None
+        return round(self.total_budget_fraction * PAPER_HEAP_GB, 2)
+
+    def ring(self) -> HashRing:
+        return HashRing(
+            range(self.shards), vnodes=self.vnodes, seed=self.ring_seed
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data["tenant_quotas"] = (
+            list(self.quotas()) if self.tenants > 1 else None
+        )
+        data["pool_degrade"] = [list(step) for step in self.pool_degrade]
+        data["total_budget_gb"] = self.total_budget_gb()
+        return data
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One shard's hermetic execution descriptor (picklable).
+
+    Carries everything a worker needs to rebuild the ring, regenerate
+    the global op stream, filter it to this shard, and apply the leased
+    budget schedule — a retried or re-scheduled job produces the
+    identical payload.  ``budget_schedule`` has one lease per rebalance
+    epoch (``None`` = baseline shard).
+    """
+
+    index: int
+    shard: int
+    shards: int
+    vnodes: int
+    ring_seed: int
+    workload: str
+    theta: float
+    seed: int
+    record_count: int
+    operation_count: int
+    epochs: int
+    tenants: int
+    budget_schedule: Optional[Tuple[int, ...]]
+    timeout_s: Optional[float] = None
+    # Test hook: same contract as SweepJob.fault_kill_once_path.
+    fault_kill_once_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.shard < self.shards:
+            raise ValueError(
+                f"shard {self.shard} outside [0, {self.shards})"
+            )
+        if self.budget_schedule is not None:
+            object.__setattr__(
+                self, "budget_schedule", tuple(self.budget_schedule)
+            )
+            if len(self.budget_schedule) != self.epochs:
+                raise ValueError(
+                    f"schedule of {len(self.budget_schedule)} leases for "
+                    f"{self.epochs} epochs"
+                )
+            for pages in self.budget_schedule:
+                if pages <= 0:
+                    raise ValueError(
+                        f"leased budget must be positive: {pages}"
+                    )
+
+    def as_dict(self) -> Dict[str, object]:
+        data = asdict(self)
+        data.pop("timeout_s")
+        data.pop("fault_kill_once_path")
+        data["budget_schedule"] = (
+            list(self.budget_schedule)
+            if self.budget_schedule is not None
+            else None
+        )
+        return data
+
+
+@dataclass
+class ClusterPlan:
+    """The coordinator's deterministic output for one cluster run."""
+
+    spec: ClusterSpec
+    ring_checksum: str
+    demands: List[List[List[int]]]  # [epoch][tenant][shard]
+    leases: List[Tuple[PoolLease, ...]]  # per epoch (empty for baseline)
+    capacity_schedule: List[int]  # pool capacity per epoch
+    schedules: Optional[List[Tuple[int, ...]]]  # per shard (None=baseline)
+    events: List[Dict[str, object]]  # ShardRebalance/BudgetLease dicts
+
+
+def probe_demands(spec: ClusterSpec, ring: HashRing) -> List[List[List[int]]]:
+    """Distinct written keys per (epoch segment, tenant, shard).
+
+    One streaming pass over the global op stream; mutating ops (update,
+    insert, rmw) contribute their key to the owning shard's demand set
+    for the segment the op falls in.  This is the pressure signal the
+    rebalancer apportions by.
+    """
+    written: List[List[List[set]]] = [
+        [[set() for _ in range(spec.shards)] for _ in range(spec.tenants)]
+        for _ in range(spec.epochs)
+    ]
+    wspec = YCSB_WORKLOADS[spec.workload]
+    scale = spec.scale()
+    total = spec.operation_count
+    for position, op in enumerate(
+        generate_operations(
+            wspec,
+            record_count=spec.record_count,
+            operation_count=total,
+            value_size=scale.value_size,
+            theta=spec.theta,
+            seed=spec.seed,
+        )
+    ):
+        if op.kind not in ("update", "insert", "rmw"):
+            continue
+        segment = min(spec.epochs - 1, position * spec.epochs // total)
+        shard = ring.shard_for(op.key)
+        tenant = key_index(op.key) % spec.tenants
+        written[segment][tenant][shard].add(op.key)
+    return [
+        [
+            [len(written[epoch][tenant][shard]) for shard in range(spec.shards)]
+            for tenant in range(spec.tenants)
+        ]
+        for epoch in range(spec.epochs)
+    ]
+
+
+def plan_cluster(
+    spec: ClusterSpec, tracer: Tracer = NULL_TRACER
+) -> ClusterPlan:
+    """Probe demand and lease the pool for every rebalance epoch.
+
+    Reactive protocol: epoch 0 splits evenly (no demand history exists
+    yet), epoch ``e > 0`` apportions by the demand observed during epoch
+    ``e - 1``.  Degradation steps shrink the pool's health before their
+    epoch's rebalance.  Baseline clusters (no pool) plan no leases.
+    """
+    ring = spec.ring()
+    demands = probe_demands(spec, ring)
+    capacity = spec.pool_capacity_pages()
+    if capacity is None:
+        return ClusterPlan(
+            spec=spec,
+            ring_checksum=ring.layout_checksum(),
+            demands=demands,
+            leases=[],
+            capacity_schedule=[],
+            schedules=None,
+            events=[],
+        )
+    pool = BatteryPool(
+        capacity_pages=capacity,
+        shards=spec.shards,
+        tenant_quotas=spec.quotas(),
+        floor_pages=spec.floor_pages,
+    )
+    no_history = [
+        [0 for _ in range(spec.shards)] for _ in range(spec.tenants)
+    ]
+    events: List[Dict[str, object]] = []
+    capacity_schedule: List[int] = []
+    for epoch in range(spec.epochs):
+        for step_epoch, fraction in spec.pool_degrade:
+            if step_epoch == epoch:
+                pool.degrade(fraction)
+        capacity_schedule.append(pool.capacity_pages)
+        observed = demands[epoch - 1] if epoch > 0 else no_history
+        leases = pool.rebalance(observed, epoch)
+        moved = pool.moved_pages(epoch)
+        # The report's event dicts are built by hand so the dataclasses
+        # are only constructed under the tracer guard (the untraced path
+        # must allocate no event objects).
+        if tracer.enabled:
+            tracer.emit(
+                ShardRebalance(
+                    t=epoch,
+                    epoch=epoch,
+                    shards=spec.shards,
+                    moved_pages=moved,
+                    leased_pages=pool.leased_pages(epoch),
+                    capacity_pages=pool.capacity_pages,
+                )
+            )
+            for lease in leases:
+                tracer.emit(
+                    BudgetLease(
+                        t=epoch,
+                        shard=lease.shard,
+                        epoch=epoch,
+                        pages=lease.pages,
+                        demand=lease.demand,
+                    )
+                )
+        events.append(
+            {
+                "type": "ShardRebalance",
+                "t": epoch,
+                "epoch": epoch,
+                "shards": spec.shards,
+                "moved_pages": moved,
+                "leased_pages": pool.leased_pages(epoch),
+                "capacity_pages": pool.capacity_pages,
+            }
+        )
+        events.extend(
+            {
+                "type": "BudgetLease",
+                "t": epoch,
+                "shard": lease.shard,
+                "epoch": epoch,
+                "pages": lease.pages,
+                "demand": lease.demand,
+            }
+            for lease in leases
+        )
+    return ClusterPlan(
+        spec=spec,
+        ring_checksum=ring.layout_checksum(),
+        demands=demands,
+        leases=pool.lease_history,
+        capacity_schedule=capacity_schedule,
+        schedules=pool.schedules(),
+        events=events,
+    )
+
+
+# -- shard execution (worker side) ----------------------------------------
+
+
+def _apply_lease(system: Viyojit, pages: int) -> None:
+    """Re-tune a shard to its new lease (shrink drains, like section 8)."""
+    current = system.dirty_budget_pages
+    if pages == current:
+        return
+    system.set_dirty_budget(pages)
+    if pages < current:
+        system.drain_to_budget()
+
+
+def _shard_operations(
+    job: ShardJob,
+    ring: HashRing,
+    system: Optional[Viyojit],
+    counters: Dict[str, object],
+) -> Iterator[Operation]:
+    """The global op stream filtered to this shard, applying leases.
+
+    Iterating the *global* stream keeps the partition exact — every op
+    goes to precisely one shard — and advancing past an epoch-segment
+    boundary re-tunes the budget between this shard's operations, which
+    is deterministic because the stream and the schedule both are.
+    """
+    wspec = YCSB_WORKLOADS[job.workload]
+    scale = ExperimentScale(
+        record_count=job.record_count,
+        operation_count=job.operation_count,
+        zipf_theta=job.theta,
+        seed=job.seed,
+    )
+    schedule = job.budget_schedule
+    total = job.operation_count
+    tenant_ops: List[int] = [0] * job.tenants
+    current_segment = 0
+    routed = 0
+    for position, op in enumerate(
+        generate_operations(
+            wspec,
+            record_count=job.record_count,
+            operation_count=total,
+            value_size=scale.value_size,
+            theta=job.theta,
+            seed=job.seed,
+        )
+    ):
+        segment = min(job.epochs - 1, position * job.epochs // total)
+        while current_segment < segment:
+            current_segment += 1
+            if schedule is not None and system is not None:
+                _apply_lease(system, schedule[current_segment])
+        if ring.shard_for(op.key) != job.shard:
+            continue
+        routed += 1
+        tenant_ops[key_index(op.key) % job.tenants] += 1
+        yield op
+    counters["routed_ops"] = routed
+    counters["tenant_ops"] = list(tenant_ops)
+
+
+def _execute_shard(job: ShardJob) -> Dict[str, object]:
+    """Build one shard, load its slice of the keyspace, serve its ops."""
+    wspec = YCSB_WORKLOADS[job.workload]
+    scale = ExperimentScale(
+        record_count=job.record_count,
+        operation_count=job.operation_count,
+        zipf_theta=job.theta,
+        seed=job.seed,
+    )
+    ring = HashRing(
+        range(job.shards), vnodes=job.vnodes, seed=job.ring_seed
+    )
+    viyojit: Optional[Viyojit]
+    system: NVDRAMSystem
+    if job.budget_schedule is None:
+        sim, system = build_baseline(scale)
+        viyojit = None
+    else:
+        sim, viyojit = build_viyojit(
+            scale, 1.0, budget_pages=job.budget_schedule[0]
+        )
+        system = viyojit
+    runner = YCSBRunner(
+        sim, system, scale, ordered=wspec.scan_proportion > 0
+    )
+    loaded = 0
+    for op in load_operations(job.record_count, scale.value_size):
+        if ring.shard_for(op.key) != job.shard:
+            continue
+        runner.store.put(op.key, value_bytes(op.key, scale.value_size))
+        loaded += 1
+    counters: Dict[str, object] = {}
+    result = runner.run(
+        wspec, operations=_shard_operations(job, ring, viyojit, counters)
+    )
+    payload = result_payload(result)
+    payload["shard"] = job.shard
+    payload["records_loaded"] = loaded
+    payload["routed_ops"] = counters["routed_ops"]
+    payload["tenant_ops"] = counters["tenant_ops"]
+    payload["budget_schedule"] = (
+        list(job.budget_schedule)
+        if job.budget_schedule is not None
+        else None
+    )
+    return payload
+
+
+def run_shard_job(job: ShardJob, in_worker: bool = False) -> Dict[str, object]:
+    """Run one shard job and return its mergeable payload.
+
+    Same hermetic-worker contract as
+    :func:`repro.parallel.worker.run_sweep_job`: the SIGKILL fault hook
+    only arms inside a sacrificial pool worker, and wall time flows
+    through the sanctioned timer.
+    """
+    if in_worker:
+        maybe_kill_once(
+            job.fault_kill_once_path, f"shard {job.shard} (job {job.index})"
+        )
+    alarmed = arm_job_timeout(
+        job.timeout_s, f"shard {job.shard} (job {job.index})"
+    )
+    try:
+        holder: Dict[str, Dict[str, object]] = {}
+
+        def one_pass() -> None:
+            holder["result"] = _execute_shard(job)
+
+        wall_s = best_of(1, one_pass)
+    finally:
+        if alarmed:
+            disarm_job_timeout()
+    return {
+        "job": job.as_dict(),
+        "result": holder["result"],
+        "wall_s": wall_s,
+    }
+
+
+def pool_run_shard_job(job: ShardJob) -> Dict[str, object]:
+    """Process-pool entry point (arms the worker-only fault hooks)."""
+    return run_shard_job(job, in_worker=True)
+
+
+# -- cluster grids (coordinator side) --------------------------------------
+
+
+@dataclass(frozen=True)
+class ClusterGrid:
+    """Shard counts x total pool batteries, at one workload and scale.
+
+    The expansion order (shard count outer, budget inner) is part of the
+    on-disk contract: global job indices key the merged report.
+    """
+
+    shard_counts: Tuple[int, ...] = (4,)
+    total_budgets_gb: Tuple[Optional[float], ...] = (
+        None,
+    ) + DEFAULT_TOTAL_BUDGETS_GB
+    workload: str = "YCSB-A"
+    theta: float = 0.99
+    seed: int = 42
+    record_count: int = 2_000
+    operation_count: int = 6_000
+    epochs: int = 4
+    tenants: int = 1
+    tenant_quotas: Optional[Tuple[float, ...]] = None
+    vnodes: int = 32
+    ring_seed: int = 17
+    floor_pages: int = 1
+    pool_degrade: Tuple[Tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.shard_counts:
+            raise ValueError("grid needs at least one shard count")
+        if len(set(self.shard_counts)) != len(self.shard_counts):
+            raise ValueError("duplicate shard counts in grid")
+        if not self.total_budgets_gb:
+            raise ValueError("grid needs at least one total budget")
+        if len(set(self.total_budgets_gb)) != len(self.total_budgets_gb):
+            raise ValueError("duplicate total budgets in grid")
+        # Spec construction validates everything else per run.
+        for spec in self.specs():
+            del spec
+
+    def specs(self) -> Tuple[ClusterSpec, ...]:
+        out = []
+        for shards in self.shard_counts:
+            for budget_gb in self.total_budgets_gb:
+                out.append(
+                    ClusterSpec(
+                        shards=shards,
+                        total_budget_fraction=(
+                            None
+                            if budget_gb is None
+                            else budget_gb / PAPER_HEAP_GB
+                        ),
+                        workload=self.workload,
+                        theta=self.theta,
+                        seed=self.seed,
+                        record_count=self.record_count,
+                        operation_count=self.operation_count,
+                        epochs=self.epochs,
+                        tenants=self.tenants,
+                        tenant_quotas=self.tenant_quotas,
+                        vnodes=self.vnodes,
+                        ring_seed=self.ring_seed,
+                        floor_pages=self.floor_pages,
+                        pool_degrade=self.pool_degrade,
+                    )
+                )
+        return tuple(out)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_counts": list(self.shard_counts),
+            "total_budgets_gb": list(self.total_budgets_gb),
+            "workload": self.workload,
+            "theta": self.theta,
+            "seed": self.seed,
+            "record_count": self.record_count,
+            "operation_count": self.operation_count,
+            "epochs": self.epochs,
+            "tenants": self.tenants,
+            "tenant_quotas": (
+                list(self.tenant_quotas)
+                if self.tenant_quotas is not None
+                else None
+            ),
+            "vnodes": self.vnodes,
+            "ring_seed": self.ring_seed,
+            "floor_pages": self.floor_pages,
+            "pool_degrade": [list(step) for step in self.pool_degrade],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClusterGrid":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown grid keys: {sorted(unknown)}")
+        kwargs: Dict[str, object] = {}
+        for key, value in data.items():
+            if key == "pool_degrade" and isinstance(value, list):
+                kwargs[key] = tuple(
+                    tuple(step) for step in value  # type: ignore[arg-type]
+                )
+            elif isinstance(value, list):
+                kwargs[key] = tuple(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def shard_jobs(
+    plans: Sequence[ClusterPlan],
+    timeout_s: Optional[float] = None,
+) -> List[ShardJob]:
+    """The grid's deterministic job expansion: one job per (run, shard).
+
+    Global indices run in plan order then shard order — the same
+    assignment :func:`repro.cluster.report.build_cluster_report` uses to
+    slice merged results back into runs.
+    """
+    jobs: List[ShardJob] = []
+    index = 0
+    for plan in plans:
+        spec = plan.spec
+        for shard in range(spec.shards):
+            jobs.append(
+                ShardJob(
+                    index=index,
+                    shard=shard,
+                    shards=spec.shards,
+                    vnodes=spec.vnodes,
+                    ring_seed=spec.ring_seed,
+                    workload=spec.workload,
+                    theta=spec.theta,
+                    seed=spec.seed,
+                    record_count=spec.record_count,
+                    operation_count=spec.operation_count,
+                    epochs=spec.epochs,
+                    tenants=spec.tenants,
+                    budget_schedule=(
+                        plan.schedules[shard]
+                        if plan.schedules is not None
+                        else None
+                    ),
+                    timeout_s=timeout_s,
+                )
+            )
+            index += 1
+    return jobs
+
+
+def run_cluster_grid(
+    grid: ClusterGrid,
+    jobs: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 2,
+    progress: Progress = None,
+    tracer: Tracer = NULL_TRACER,
+    _job_overrides: Optional[Dict[int, ShardJob]] = None,
+) -> dict:
+    """Plan and execute every cluster run; return the merged report.
+
+    The report's deterministic view (everything outside ``wall``) is
+    byte-identical for any ``jobs`` count.  ``_job_overrides`` lets the
+    fault tests substitute doctored shard jobs (kill hooks) without
+    widening the public surface.
+    """
+    from repro.cluster.report import build_cluster_report
+
+    plans = [plan_cluster(spec, tracer=tracer) for spec in grid.specs()]
+    job_list = shard_jobs(plans, timeout_s=timeout_s)
+    if _job_overrides:
+        job_list = [
+            _job_overrides.get(job.index, job) for job in job_list
+        ]
+    results, retries, total_wall_s = execute_jobs(
+        job_list,
+        serial_runner=run_shard_job,
+        pool_entry=CLUSTER_POOL_ENTRY,
+        jobs=jobs,
+        max_retries=max_retries,
+        progress=progress,
+    )
+    return build_cluster_report(
+        grid,
+        plans,
+        results,
+        workers=jobs,
+        total_wall_s=total_wall_s,
+        retries=retries,
+    )
+
+
+__all__ = [
+    "CLUSTER_POOL_ENTRY",
+    "ClusterGrid",
+    "ClusterPlan",
+    "ClusterSpec",
+    "ShardJob",
+    "plan_cluster",
+    "pool_run_shard_job",
+    "probe_demands",
+    "run_cluster_grid",
+    "run_shard_job",
+    "shard_jobs",
+]

@@ -38,6 +38,13 @@ event               emitted by / meaning
 :class:`BatteryDegraded` fault injector — the battery lost capacity
                          mid-run and the runtime retuned its dirty
                          budget (section 8).
+:class:`ShardRebalance`  cluster coordinator — a rebalance epoch
+                         re-apportioned the shared battery pool across
+                         shards (:mod:`repro.cluster`); ``t`` is the
+                         epoch index, not virtual nanoseconds.
+:class:`BudgetLease`     cluster coordinator — one shard's dirty budget
+                         lease for one rebalance epoch; ``t`` is the
+                         epoch index, not virtual nanoseconds.
 ==================  =====================================================
 """
 
@@ -169,6 +176,40 @@ class BatteryDegraded(TraceEvent):
     budget: int
 
 
+@dataclass(frozen=True)
+class ShardRebalance(TraceEvent):
+    """A rebalance epoch re-apportioned the shared battery pool.
+
+    Coordinator-level event: ``t`` carries the rebalance epoch index
+    (the cluster planner runs before any shard's virtual clock starts).
+    ``moved_pages`` counts budget pages that changed shards relative to
+    the previous epoch's leases; ``capacity_pages`` is the pool capacity
+    in force (post-degradation) and ``leased_pages`` the sum of leases
+    granted this epoch, which conservation bounds by capacity.
+    """
+
+    epoch: int
+    shards: int
+    moved_pages: int
+    leased_pages: int
+    capacity_pages: int
+
+
+@dataclass(frozen=True)
+class BudgetLease(TraceEvent):
+    """One shard's dirty-budget lease for one rebalance epoch.
+
+    Coordinator-level event (``t`` is the epoch index).  ``demand`` is
+    the demand signal the rebalancer apportioned by — distinct keys
+    written to the shard during the epoch's op segment.
+    """
+
+    shard: int
+    epoch: int
+    pages: int
+    demand: int
+
+
 EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     WriteFault,
     SyncEviction,
@@ -180,6 +221,8 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     FlushComplete,
     SSDFault,
     BatteryDegraded,
+    ShardRebalance,
+    BudgetLease,
 )
 
 EVENT_TYPES_BY_NAME: Dict[str, Type[TraceEvent]] = {

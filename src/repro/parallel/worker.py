@@ -8,6 +8,11 @@ job, so a retried or re-scheduled job produces the identical payload —
 the foundation of the sweep's cross-``--jobs`` byte-identity.  Wall time
 is measured through :func:`repro.perf.timer.best_of` (the sanctioned
 wall-clock site) and reported separately.
+
+The fault-hook (:func:`maybe_kill_once`) and timeout
+(:func:`arm_job_timeout` / :func:`disarm_job_timeout`) helpers are
+shared with the cluster shard worker (:mod:`repro.cluster.runner`),
+which runs the same hermetic protocol over shard jobs.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ class SweepTimeout(RuntimeError):
     """A job exceeded its per-job timeout."""
 
 
-def _result_payload(result: RunResult) -> Dict[str, object]:
+def result_payload(result: RunResult) -> Dict[str, object]:
     """The deterministic (simulated-only) view of one run."""
     stats = None
     if result.viyojit_stats is not None:
@@ -56,17 +61,16 @@ def _result_payload(result: RunResult) -> Dict[str, object]:
     }
 
 
-def _maybe_kill_once(job: SweepJob) -> None:
+def maybe_kill_once(path: Optional[str], label: str) -> None:
     """Fault hook: die hard on the first attempt, marked by a touch-file.
 
     Creating the marker *before* the kill means the retry finds it and
     proceeds normally — exactly one induced crash per marker path.
     """
-    path = job.fault_kill_once_path
     if path is None or os.path.exists(path):
         return
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"killed job {job.index}\n")
+        handle.write(f"killed {label}\n")
     os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -78,7 +82,7 @@ def run_sweep_job(job: SweepJob, in_worker: bool = False) -> Dict[str, object]:
     (or, for the timeout, the main thread of a serial run).
     """
     if in_worker:
-        _maybe_kill_once(job)
+        maybe_kill_once(job.fault_kill_once_path, f"job {job.index}")
     spec = YCSB_WORKLOADS[job.workload]
     scale = ExperimentScale(
         record_count=job.record_count,
@@ -86,47 +90,55 @@ def run_sweep_job(job: SweepJob, in_worker: bool = False) -> Dict[str, object]:
         zipf_theta=job.theta,
         seed=job.seed,
     )
-    alarmed = _arm_timeout(job)
+    alarmed = arm_job_timeout(
+        job.timeout_s, f"job {job.index} ({job.workload})"
+    )
     try:
         holder: Dict[str, RunResult] = {}
 
         def one_pass() -> None:
             holder["result"] = run_workload(
-                spec, scale, job.budget_fraction, execution="batched"
+                spec,
+                scale,
+                job.budget_fraction,
+                execution="batched",
+                budget_pages=job.budget_pages,
             )
 
         wall_s = best_of(1, one_pass)
     finally:
         if alarmed:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, signal.SIG_DFL)
+            disarm_job_timeout()
     return {
         "job": job.as_dict(),
-        "result": _result_payload(holder["result"]),
+        "result": result_payload(holder["result"]),
         "wall_s": wall_s,
     }
 
 
-def _arm_timeout(job: SweepJob) -> bool:
+def arm_job_timeout(timeout_s: Optional[float], label: str) -> bool:
     """Arm a SIGALRM-based per-job timeout; returns whether armed.
 
     Signals only work on the main thread, which is where both pool
     workers and the serial fallback run jobs.
     """
-    timeout = job.timeout_s
-    if timeout is None or timeout <= 0:
+    if timeout_s is None or timeout_s <= 0:
         return False
     if threading.current_thread() is not threading.main_thread():
         return False
 
     def _on_alarm(signum: int, frame: Optional[object]) -> None:
-        raise SweepTimeout(
-            f"job {job.index} ({job.workload}) exceeded {timeout}s"
-        )
+        raise SweepTimeout(f"{label} exceeded {timeout_s}s")
 
     signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
     return True
+
+
+def disarm_job_timeout() -> None:
+    """Cancel a timeout armed by :func:`arm_job_timeout`."""
+    signal.setitimer(signal.ITIMER_REAL, 0.0)
+    signal.signal(signal.SIGALRM, signal.SIG_DFL)
 
 
 def pool_run_job(job: SweepJob) -> Dict[str, object]:

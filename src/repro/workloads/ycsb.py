@@ -160,6 +160,21 @@ def make_key(index: int) -> bytes:
     return b"user%020d" % index
 
 
+def key_index(key: bytes) -> int:
+    """Inverse of :func:`make_key`: the item index a key encodes.
+
+    The cluster layer uses this for tenant tagging — a key's tenant is a
+    pure function of its index — so it must reject anything that did not
+    come out of :func:`make_key` rather than guess.
+    """
+    if len(key) != 24 or not key.startswith(b"user"):
+        raise ValueError(f"not a YCSB key: {key!r}")
+    digits = key[4:]
+    if not digits.isdigit():
+        raise ValueError(f"not a YCSB key: {key!r}")
+    return int(digits)
+
+
 def generate_operations(
     spec: WorkloadSpec,
     record_count: int,

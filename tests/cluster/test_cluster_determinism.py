@@ -1,0 +1,136 @@
+"""Cross-shard determinism: CLUSTER.json is scheduling-independent.
+
+The tentpole claim: the merged report's ``deterministic_view`` is
+byte-identical across ``--jobs 1/2/8``, across two same-seed runs, and
+across a SIGKILL of a shard worker mid-job — determinism comes from the
+jobs being pure functions of their descriptors, not from scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    ClusterGrid,
+    plan_cluster,
+    run_cluster_grid,
+    shard_jobs,
+)
+from repro.cluster.report import checksum, deterministic_view, dumps
+
+GRID = ClusterGrid(
+    shard_counts=(2,),
+    total_budgets_gb=(None, 2.0),
+    record_count=300,
+    operation_count=900,
+    epochs=3,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    return run_cluster_grid(GRID, jobs=1)
+
+
+def test_two_workers_match_serial_byte_for_byte(serial_report):
+    parallel_report = run_cluster_grid(GRID, jobs=2)
+    assert dumps(parallel_report, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+    assert (
+        parallel_report["checksum_sha256"]
+        == serial_report["checksum_sha256"]
+    )
+
+
+def test_eight_workers_match_serial_byte_for_byte(serial_report):
+    report = run_cluster_grid(GRID, jobs=8)
+    assert dumps(report, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+
+
+def test_same_seed_reruns_are_identical(serial_report):
+    again = run_cluster_grid(GRID, jobs=1)
+    assert dumps(again, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+
+
+def test_different_seed_changes_the_bytes(serial_report):
+    other = run_cluster_grid(
+        dataclasses.replace(GRID, seed=43), jobs=1
+    )
+    assert (
+        other["checksum_sha256"] != serial_report["checksum_sha256"]
+    )
+
+
+def test_checksum_covers_the_deterministic_view(serial_report):
+    import json
+
+    assert checksum(serial_report) == serial_report["checksum_sha256"]
+    tampered = json.loads(json.dumps(serial_report))
+    tampered["runs"][0]["summary"]["total_ops"] += 1
+    assert checksum(tampered) != serial_report["checksum_sha256"]
+    assert "wall" not in deterministic_view(serial_report)
+
+
+def test_killed_shard_worker_is_retried_and_bytes_match(
+    serial_report, tmp_path
+):
+    """SIGKILL a shard worker mid-job: pool rebuilds, bytes unchanged."""
+    plans = [plan_cluster(spec) for spec in GRID.specs()]
+    jobs = shard_jobs(plans)
+    marker = tmp_path / "kill-once"
+    doctored = dataclasses.replace(
+        jobs[1], fault_kill_once_path=str(marker)
+    )
+    messages = []
+    report = run_cluster_grid(
+        GRID,
+        jobs=2,
+        _job_overrides={1: doctored},
+        progress=messages.append,
+    )
+    assert marker.exists()  # the worker really died mid-job
+    assert any("worker process died" in m for m in messages)
+    assert report["wall"]["retries"] >= 1
+    assert dumps(report, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+
+
+def test_rebalance_events_are_in_the_deterministic_view(serial_report):
+    """The coordinator's lease protocol is part of the pinned bytes."""
+    budgeted = [
+        run
+        for run in serial_report["runs"]
+        if run["spec"]["total_budget_fraction"] is not None
+    ]
+    assert budgeted
+    for run in budgeted:
+        kinds = [event["type"] for event in run["events"]]
+        assert kinds.count("ShardRebalance") == run["spec"]["epochs"]
+        assert kinds.count("BudgetLease") == (
+            run["spec"]["epochs"] * run["spec"]["shards"]
+        )
+        # Conservation, as recorded in the report itself.
+        for epoch_leases in run["leases"]:
+            total = sum(lease["pages"] for lease in epoch_leases)
+            assert total <= run["summary"]["pool"]["capacity_schedule"][0]
+
+
+def test_baseline_runs_plan_no_leases(serial_report):
+    baselines = [
+        run
+        for run in serial_report["runs"]
+        if run["spec"]["total_budget_fraction"] is None
+    ]
+    assert baselines
+    for run in baselines:
+        assert run["leases"] == []
+        assert run["events"] == []
+        assert "pool" not in run["summary"]

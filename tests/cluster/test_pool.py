@@ -1,0 +1,172 @@
+"""Battery-pool conservation and apportionment properties (hypothesis).
+
+The fleet-wide safety invariant: at every rebalance epoch the pages
+leased out never exceed the pool's (possibly degraded) capacity — the
+cluster analogue of the paper's "battery flushes every dirty page"
+guarantee — plus tenant-quota isolation and largest-remainder exactness.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster import BatteryPool, PoolError, apportion, plan_epoch
+from repro.cluster.rebalancer import moved_pages
+from repro.power.battery import Battery
+from repro.power.power_model import PowerModel
+
+weights = st.lists(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=12
+)
+demand_rows = st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(total=st.integers(min_value=0, max_value=10**6), w=weights)
+def test_apportion_sums_exactly(total, w):
+    grants = apportion(total, w)
+    assert sum(grants) == total
+    assert all(grant >= 0 for grant in grants)
+
+
+@settings(max_examples=40, deadline=None)
+@given(total=st.integers(min_value=0, max_value=10**6), w=weights)
+def test_apportion_is_deterministic(total, w):
+    assert apportion(total, w) == apportion(total, w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    per=st.integers(min_value=0, max_value=1000),
+    n=st.integers(min_value=1, max_value=10),
+)
+def test_apportion_even_split_on_equal_weights(per, n):
+    grants = apportion(per * n, [1.0] * n)
+    assert grants == [per] * n
+
+
+def test_apportion_respects_floor_and_validates():
+    assert apportion(10, [0, 0, 0], floor=2) == [4, 3, 3]
+    with pytest.raises(ValueError):
+        apportion(5, [1, 1, 1], floor=2)
+    with pytest.raises(ValueError):
+        apportion(5, [])
+    with pytest.raises(ValueError):
+        apportion(5, [1, -1])
+
+
+epoch_demand_streams = st.lists(
+    st.lists(st.integers(min_value=0, max_value=10**5), min_size=4, max_size=4),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=4, max_value=10**6),
+    stream=epoch_demand_streams,
+    degrade_at=st.integers(min_value=0, max_value=5),
+    fraction=st.floats(min_value=0.0, max_value=0.9, exclude_min=True),
+)
+def test_conservation_at_every_epoch(capacity, stream, degrade_at, fraction):
+    """sum(leases) <= capacity holds each epoch, degradation included."""
+    pool = BatteryPool(capacity_pages=capacity, shards=4)
+    for epoch, demand in enumerate(stream):
+        if epoch == degrade_at:
+            pool.degrade(fraction)
+        leases = pool.rebalance([demand], epoch)
+        assert sum(lease.pages for lease in leases) <= pool.capacity_pages
+        assert pool.leased_pages(epoch) <= pool.capacity_pages
+        assert all(lease.pages >= pool.floor_pages for lease in leases)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=100, max_value=10**6),
+    demand=st.lists(
+        st.integers(min_value=0, max_value=10**5), min_size=3, max_size=3
+    ),
+)
+def test_tenant_quota_isolation(capacity, demand):
+    """One tenant's burst cannot eat another tenant's quota share."""
+    quotas = (0.5, 0.3, 0.2)
+    pool = BatteryPool(
+        capacity_pages=capacity, shards=3, tenant_quotas=quotas
+    )
+    # Tenant 0 bursts; tenants 1 and 2 are idle.
+    pool.rebalance([demand, [0, 0, 0], [0, 0, 0]], 0)
+    distributable = pool.capacity_pages - pool.shards * pool.floor_pages
+    granted = pool.tenant_leased_pages(0)
+    for tenant, quota in enumerate(quotas):
+        # Largest-remainder rounding can add at most one page per tenant.
+        assert granted[tenant] <= int(distributable * quota) + 1
+
+
+def test_degradation_shrinks_toward_floor_not_zero():
+    pool = BatteryPool(capacity_pages=1000, shards=4)
+    pool.degrade(0.999999)
+    assert pool.capacity_pages == 4 * pool.floor_pages
+    leases = pool.rebalance([[10, 0, 0, 0]], 0)
+    assert all(lease.pages >= 1 for lease in leases)
+
+
+def test_epochs_must_lease_in_order():
+    pool = BatteryPool(capacity_pages=100, shards=2)
+    pool.rebalance([[1, 1]], 0)
+    with pytest.raises(PoolError):
+        pool.rebalance([[1, 1]], 0)
+    with pytest.raises(PoolError):
+        pool.rebalance([[1, 1]], 5)
+
+
+def test_pool_validation():
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=3, shards=4)
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=100, shards=0)
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=100, shards=2, tenant_quotas=(0.5, 0.4))
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=100, shards=2, tenant_quotas=(1.5, -0.5))
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=100, shards=2).degrade(1.0)
+
+
+def test_from_battery_matches_single_machine_sizing():
+    """The pool uses the paper's section-5.1 arithmetic, fleet-wide."""
+    battery = Battery(nominal_joules=50_000.0)
+    model = PowerModel()
+    pool = BatteryPool.from_battery(battery, model, shards=4)
+    assert (
+        pool.nominal_capacity_pages
+        == model.dirty_budget_pages(battery, 4096)
+    )
+
+
+def test_schedules_and_moved_pages():
+    pool = BatteryPool(capacity_pages=100, shards=2)
+    pool.rebalance([[0, 0]], 0)  # even split: 50/50
+    pool.rebalance([[3, 1]], 1)  # skewed toward shard 0
+    schedules = pool.schedules()
+    assert len(schedules) == 2
+    assert schedules[0][0] == 50 and schedules[1][0] == 50
+    assert schedules[0][1] > schedules[1][1]
+    assert pool.moved_pages(0) == 0
+    assert pool.moved_pages(1) == schedules[0][1] - 50
+
+
+def test_moved_pages_helper():
+    assert moved_pages([5, 5], [7, 3]) == 2
+    assert moved_pages([5, 5], [5, 5]) == 0
+    with pytest.raises(ValueError):
+        moved_pages([1], [1, 2])
+
+
+def test_plan_epoch_leases_sum_to_capacity():
+    grants, leases = plan_epoch(101, [[5, 0, 2]], (1.0,), 1)
+    assert sum(leases) == 101
+    assert all(lease >= 1 for lease in leases)
+    assert sum(sum(row) for row in grants) == 101 - 3

