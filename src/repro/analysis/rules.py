@@ -265,6 +265,9 @@ EVENT_CLASS_NAMES = frozenset(
         "BatteryDegraded",
         "ShardRebalance",
         "BudgetLease",
+        "DemandStarved",
+        "ShardMigration",
+        "BudgetHandoff",
     }
 )
 

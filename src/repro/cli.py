@@ -524,6 +524,20 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             epoch_text, _, fraction_text = token.partition(":")
             steps.append((int(epoch_text), float(fraction_text)))
         degrade = tuple(steps)
+    membership: tuple = ()
+    if args.membership:
+        changes = []
+        for token in args.membership.split(","):
+            parts = token.split(":")
+            if len(parts) != 3:
+                print(
+                    f"bad membership entry {token!r}: expected "
+                    f"EPOCH:add|remove:SHARD",
+                    file=sys.stderr,
+                )
+                return 2
+            changes.append((int(parts[0]), parts[1], int(parts[2])))
+        membership = tuple(changes)
     grid = ClusterGrid(
         shard_counts=shard_counts,
         total_budgets_gb=tuple(budgets),
@@ -538,6 +552,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         vnodes=args.vnodes,
         ring_seed=args.ring_seed,
         pool_degrade=degrade,
+        predictor=args.predictor,
+        ewma_alpha=args.ewma_alpha,
+        churn_cap_pages=args.churn_cap,
+        membership=membership,
+        hotspot_rotate_keys=args.hotspot_rotate,
     )
     try:
         report = run_cluster_grid(
@@ -578,6 +597,22 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 title=f"Cluster throughput vs total battery "
                 f"({len(report['runs'])} runs, --jobs {args.jobs})",
             )
+        )
+    for run in report["runs"]:
+        misallocation = run["summary"].get("misallocation")
+        if misallocation is None:
+            continue
+        improvement = misallocation["improvement_pct"]
+        improved = (
+            f"{improvement:+.2f}% vs last-epoch"
+            if improvement is not None
+            else "baseline misallocation is zero"
+        )
+        print(
+            f"misallocation[{run['summary']['shards']} shards, "
+            f"{run['summary']['total_budget_gb']} GB, "
+            f"{misallocation['predictor']}]: "
+            f"L1 {misallocation['total']} ({improved})"
         )
     print(f"cluster checksum: {report['checksum_sha256']}")
     if args.out:
@@ -909,6 +944,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="virtual nodes per shard (default 32)")
     cluster.add_argument("--ring-seed", type=int, default=17,
                          help="consistent-hash ring seed (default 17)")
+    cluster.add_argument("--predictor", type=str, default="last-epoch",
+                         choices=["last-epoch", "ewma", "per-tenant-ewma"],
+                         help="demand predictor feeding the rebalancer "
+                              "(default: last-epoch, the reactive protocol)")
+    cluster.add_argument("--ewma-alpha", type=float, default=0.5,
+                         help="EWMA smoothing factor in (0, 1] "
+                              "(default: 0.5)")
+    cluster.add_argument("--churn-cap", type=int, default=None,
+                         help="cap voluntary lease movement at this many "
+                              "pages per epoch (default: undamped)")
+    cluster.add_argument("--membership", type=str, default=None,
+                         help="ring membership changes as "
+                              "EPOCH:add|remove:SHARD[,...], e.g. "
+                              "'2:add:4,3:remove:0'")
+    cluster.add_argument("--hotspot-rotate", type=int, default=0,
+                         help="rotate the workload hotspot by this many "
+                              "keys at each epoch boundary")
     cluster.add_argument("--pool-degrade", type=str, default=None,
                          help="epoch:fraction pool-health losses, "
                          "comma-separated (e.g. 2:0.3)")

@@ -10,8 +10,26 @@ epochs as write pressure shifts.  Execution rides the deterministic
 byte-identical at any ``--jobs`` count.
 """
 
+from repro.cluster.forecast import (
+    DEFAULT_EWMA_ALPHA,
+    PREDICTORS,
+    DemandPredictor,
+    EwmaPredictor,
+    LastEpochPredictor,
+    PerTenantEwmaPredictor,
+    make_predictor,
+    misallocation_report,
+    misallocation_series,
+)
 from repro.cluster.pool import BatteryPool, PoolError, PoolLease
-from repro.cluster.rebalancer import apportion, moved_pages, plan_epoch
+from repro.cluster.rebalancer import (
+    LeaseChurn,
+    apportion,
+    damp_grants,
+    lease_churn,
+    moved_pages,
+    plan_epoch,
+)
 from repro.cluster.report import (
     CLUSTER_SCHEMA_VERSION,
     build_cluster_report,
@@ -19,10 +37,13 @@ from repro.cluster.report import (
 from repro.cluster.ring import RING_BITS, RING_SIZE, HashRing
 from repro.cluster.runner import (
     CLUSTER_POOL_ENTRY,
+    MEMBERSHIP_ACTIONS,
     ClusterGrid,
     ClusterPlan,
     ClusterSpec,
     ShardJob,
+    iter_segment_ops,
+    membership_rings,
     plan_cluster,
     pool_run_shard_job,
     probe_demands,
@@ -38,14 +59,29 @@ __all__ = [
     "ClusterGrid",
     "ClusterPlan",
     "ClusterSpec",
+    "DEFAULT_EWMA_ALPHA",
+    "DemandPredictor",
+    "EwmaPredictor",
     "HashRing",
+    "LastEpochPredictor",
+    "LeaseChurn",
+    "MEMBERSHIP_ACTIONS",
+    "PerTenantEwmaPredictor",
     "PoolError",
     "PoolLease",
+    "PREDICTORS",
     "RING_BITS",
     "RING_SIZE",
     "ShardJob",
     "apportion",
     "build_cluster_report",
+    "damp_grants",
+    "iter_segment_ops",
+    "lease_churn",
+    "make_predictor",
+    "membership_rings",
+    "misallocation_report",
+    "misallocation_series",
     "moved_pages",
     "plan_cluster",
     "plan_epoch",

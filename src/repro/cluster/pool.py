@@ -21,7 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.rebalancer import moved_pages, plan_epoch
+from repro.cluster.rebalancer import (
+    LeaseChurn,
+    apportion,
+    damp_grants,
+    lease_churn,
+    moved_pages,
+    plan_epoch,
+)
 from repro.power.battery import Battery
 from repro.power.power_model import PowerModel
 
@@ -30,14 +37,32 @@ class PoolError(ValueError):
     """A lease request or pool configuration violates pool invariants."""
 
 
+def _demand_signal(value: float) -> float:
+    """Canonical demand value for a lease record.
+
+    Observed demand is an integer count and passes through unchanged
+    (legacy CLUSTER.json bytes depend on that); predictor forecasts are
+    floats and are rounded so report bytes do not depend on float
+    formatting accidents.
+    """
+    if isinstance(value, int):
+        return value
+    return round(value, 3)
+
+
 @dataclass(frozen=True)
 class PoolLease:
-    """One shard's budget lease for one rebalance epoch."""
+    """One shard's budget lease for one rebalance epoch.
+
+    ``demand`` is the signal the rebalancer apportioned by: an integer
+    distinct-written-keys count under the reactive ``last-epoch``
+    planner, or a rounded float forecast under the EWMA predictors.
+    """
 
     shard: int
     epoch: int
     pages: int
-    demand: int
+    demand: float
     tenant_pages: Tuple[int, ...]
 
     def as_dict(self) -> Dict[str, object]:
@@ -59,6 +84,7 @@ class BatteryPool:
         shards: int,
         tenant_quotas: Optional[Sequence[float]] = None,
         floor_pages: int = 1,
+        churn_cap_pages: Optional[int] = None,
     ) -> None:
         if shards <= 0:
             raise PoolError(f"shards must be positive: {shards}")
@@ -83,10 +109,17 @@ class BatteryPool:
             raise PoolError(
                 f"tenant quotas must sum to 1, got {sum(quotas)}"
             )
+        if churn_cap_pages is not None and churn_cap_pages < 0:
+            raise PoolError(
+                f"churn_cap_pages must be non-negative: {churn_cap_pages}"
+            )
         self.nominal_capacity_pages = int(capacity_pages)
         self.shards = int(shards)
         self.tenant_quotas: Tuple[float, ...] = quotas
         self.floor_pages = int(floor_pages)
+        self.churn_cap_pages = (
+            int(churn_cap_pages) if churn_cap_pages is not None else None
+        )
         self.health = 1.0
         self.lease_history: List[Tuple[PoolLease, ...]] = []
 
@@ -134,16 +167,28 @@ class BatteryPool:
     # -- leasing -----------------------------------------------------------
 
     def rebalance(
-        self, demands: Sequence[Sequence[int]], epoch: int
+        self,
+        demands: Sequence[Sequence[float]],
+        epoch: int,
+        active: Optional[Sequence[bool]] = None,
     ) -> Tuple[PoolLease, ...]:
         """Re-apportion capacity for one epoch; returns the new leases.
 
-        ``demands[tenant][shard]`` is the epoch's demand signal.  The
-        grants come from :func:`repro.cluster.rebalancer.plan_epoch`
-        (floors off the top, tenant quotas, largest-remainder within
-        each tenant); conservation is re-checked on every call and a
-        violation raises :class:`PoolError` rather than over-promising
-        battery that does not exist.
+        ``demands[tenant][shard]`` is the epoch's demand signal (an
+        observed count or a predictor's forecast).  The grants come from
+        :func:`repro.cluster.rebalancer.plan_epoch` (floors off the top,
+        tenant quotas, largest-remainder within each tenant, inactive
+        shards masked to their floor); conservation is re-checked on
+        every call and a violation raises :class:`PoolError` rather than
+        over-promising battery that does not exist.
+
+        With ``churn_cap_pages`` configured, each tenant's grants are
+        damped toward the plan via
+        :func:`repro.cluster.rebalancer.damp_grants`: voluntary page
+        movement per epoch is bounded by the cap (apportioned across
+        tenants by quota), while capacity-delta and membership-handoff
+        movement stays exempt.  Damping preserves each tenant's grant
+        total exactly, so isolation and conservation are unaffected.
         """
         if epoch != len(self.lease_history):
             raise PoolError(
@@ -155,7 +200,32 @@ class BatteryPool:
             demands,
             self.tenant_quotas,
             self.floor_pages,
+            active=active,
         )
+        if self.churn_cap_pages is not None and self.lease_history:
+            previous = self.lease_history[-1]
+            tenant_caps = apportion(
+                self.churn_cap_pages, self.tenant_quotas, floor=0
+            )
+            for tenant in range(len(self.tenant_quotas)):
+                prior = [
+                    previous[shard].tenant_pages[tenant]
+                    for shard in range(self.shards)
+                ]
+                grants[tenant] = damp_grants(
+                    prior,
+                    grants[tenant],
+                    tenant_caps[tenant],
+                    active=active,
+                )
+            leases = [
+                self.floor_pages
+                + sum(
+                    grants[tenant][shard]
+                    for tenant in range(len(self.tenant_quotas))
+                )
+                for shard in range(self.shards)
+            ]
         if len(leases) != self.shards:
             raise PoolError(
                 f"demand matrix covers {len(leases)} shards, "
@@ -172,7 +242,9 @@ class BatteryPool:
                 shard=shard,
                 epoch=epoch,
                 pages=leases[shard],
-                demand=sum(demands[tenant][shard] for tenant in range(tenants)),
+                demand=_demand_signal(
+                    sum(demands[tenant][shard] for tenant in range(tenants))
+                ),
                 tenant_pages=tuple(
                     grants[tenant][shard] for tenant in range(tenants)
                 ),
@@ -191,6 +263,20 @@ class BatteryPool:
         if epoch == 0:
             return 0
         return moved_pages(
+            [lease.pages for lease in self.lease_history[epoch - 1]],
+            [lease.pages for lease in self.lease_history[epoch]],
+        )
+
+    def churn(self, epoch: int) -> LeaseChurn:
+        """Grown/shed/moved accounting entering ``epoch``.
+
+        Across a degradation epoch ``shed`` exceeds ``grown`` by the
+        capacity lost — the full drain work shrinking shards perform —
+        which the one-number :meth:`moved_pages` view undercounts.
+        """
+        if epoch == 0:
+            return LeaseChurn(grown=0, shed=0)
+        return lease_churn(
             [lease.pages for lease in self.lease_history[epoch - 1]],
             [lease.pages for lease in self.lease_history[epoch]],
         )

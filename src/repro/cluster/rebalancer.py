@@ -8,11 +8,24 @@ remainder with index-order tie-breaks — because it is exact (grants sum
 to precisely the distributable total), proportional, and a pure function
 of its inputs.  No RNG, no iteration-order dependence: cross-``--jobs``
 byte-identity of CLUSTER.json rests on this.
+
+Two planning refinements layer on top of the raw apportionment:
+
+* **Membership masks** — :func:`plan_epoch` takes an ``active`` vector;
+  inactive shards (not yet joined, or already drained off the ring)
+  receive exactly their floor while the distributable capacity is
+  apportioned across active shards only.
+* **Hysteresis/damping** — :func:`damp_grants` rate-limits how many
+  budget pages may voluntarily change shards between consecutive
+  epochs.  Movement *forced* by capacity change or membership handoff
+  is exempt (conservation is not negotiable); everything else is scaled
+  back, largest-remainder style, to the configured churn cap.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 
 def apportion(
@@ -58,14 +71,16 @@ def apportion(
 
 def plan_epoch(
     capacity_pages: int,
-    demands: Sequence[Sequence[int]],
+    demands: Sequence[Sequence[float]],
     tenant_quotas: Sequence[float],
     floor_pages: int,
+    active: Optional[Sequence[bool]] = None,
 ) -> Tuple[List[List[int]], List[int]]:
     """One rebalance epoch: tenant isolation, then per-shard demand.
 
     ``demands[tenant][shard]`` is the demand signal (distinct keys
-    written this epoch).  Capacity splits in two stages:
+    written this epoch, or a predictor's forecast of them).  Capacity
+    splits in two stages:
 
     1. every shard is floored at ``floor_pages`` off the top (a live
        Viyojit instance needs a positive budget even when idle);
@@ -73,6 +88,11 @@ def plan_epoch(
        *isolation*: one tenant's write burst cannot consume another
        tenant's share — and each tenant's pool is then apportioned
        across shards by that tenant's observed demand.
+
+    ``active`` masks shards that are not currently on the ring (pre-join
+    or post-removal): they keep their floor but receive no above-floor
+    grant, and the all-zero-weights even-split fallback spreads over
+    active shards only.
 
     Returns ``(grants, leases)``: ``grants[tenant][shard]`` above the
     floor, and ``leases[shard]`` = floor + its grants, summing to
@@ -93,13 +113,26 @@ def plan_epoch(
         )
     if floor_pages <= 0:
         raise ValueError(f"floor_pages must be positive: {floor_pages}")
+    if active is None:
+        active_idx = list(range(shards))
+    else:
+        if len(active) != shards:
+            raise ValueError(
+                f"active mask covers {len(active)} shards, demands {shards}"
+            )
+        active_idx = [at for at in range(shards) if active[at]]
+        if not active_idx:
+            raise ValueError("plan_epoch needs at least one active shard")
     tenant_pools = apportion(
         capacity_pages - floor_pages * shards, tenant_quotas, floor=0
     )
-    grants = [
-        apportion(pool, row, floor=0)
-        for pool, row in zip(tenant_pools, demands)
-    ]
+    grants: List[List[int]] = []
+    for pool, row in zip(tenant_pools, demands):
+        sub = apportion(pool, [row[at] for at in active_idx], floor=0)
+        scattered = [0] * shards
+        for position, at in enumerate(active_idx):
+            scattered[at] = sub[position]
+        grants.append(scattered)
     leases = [
         floor_pages + sum(grants[tenant][shard] for tenant in range(tenants))
         for shard in range(shards)
@@ -107,17 +140,120 @@ def plan_epoch(
     return grants, leases
 
 
-def moved_pages(
-    previous: Sequence[int], current: Sequence[int]
-) -> int:
-    """Budget pages that changed shards between two lease vectors.
+@dataclass(frozen=True)
+class LeaseChurn:
+    """Budget movement between two consecutive lease vectors.
 
-    Measured as the pages gained by growing shards; when both vectors
-    sum to the same capacity this equals the pages shed by shrinking
-    shards, i.e. the budget that physically "moved".
+    ``grown`` is the pages gained by growing shards and ``shed`` the
+    pages given up by shrinking shards.  The two are equal only when
+    both vectors sum to the same capacity; across a degradation epoch
+    ``shed`` exceeds ``grown`` by exactly the capacity lost, and that
+    shed is the drain work shards actually perform.  ``moved`` — the
+    pages that physically changed shards — is the matched part,
+    ``min(grown, shed)``.
+    """
+
+    grown: int
+    shed: int
+
+    @property
+    def moved(self) -> int:
+        return min(self.grown, self.shed)
+
+    def as_dict(self) -> dict:
+        return {"grown": self.grown, "shed": self.shed, "moved": self.moved}
+
+
+def lease_churn(
+    previous: Sequence[int], current: Sequence[int]
+) -> LeaseChurn:
+    """Grown/shed/moved accounting between two lease vectors.
+
+    Unlike :func:`moved_pages`, this is exact when the vectors sum to
+    different capacities (degradation epochs): pages gained by growing
+    shards and pages shed by shrinking shards are reported separately.
     """
     if len(previous) != len(current):
         raise ValueError("lease vectors must have equal length")
-    return sum(
-        max(0, now - before) for before, now in zip(previous, current)
+    grown = 0
+    shed = 0
+    for before, now in zip(previous, current):
+        if now > before:
+            grown += now - before
+        else:
+            shed += before - now
+    return LeaseChurn(grown=grown, shed=shed)
+
+
+def moved_pages(
+    previous: Sequence[int], current: Sequence[int]
+) -> int:
+    """Budget pages gained by growing shards between two lease vectors.
+
+    When both vectors sum to the same capacity this equals the pages
+    shed by shrinking shards, i.e. the budget that physically "moved".
+    When the sums differ (a degradation epoch shrank the pool) the two
+    sides diverge — use :func:`lease_churn` for the full grown/shed
+    accounting; this helper keeps the historical one-number view.
+    """
+    return lease_churn(previous, current).grown
+
+
+def damp_grants(
+    previous: Sequence[int],
+    target: Sequence[int],
+    cap_pages: int,
+    active: Optional[Sequence[bool]] = None,
+) -> List[int]:
+    """Rate-limit one tenant's grant movement toward ``target``.
+
+    ``previous`` and ``target`` are the tenant's per-shard above-floor
+    grants for consecutive epochs; they may sum differently (the tenant
+    pool shrank with pool degradation).  The damped result always sums
+    to exactly ``sum(target)`` — conservation and tenant-quota isolation
+    are preserved bit-for-bit — while the *voluntary* churn (matched
+    grow/shed movement between shards) is capped at ``cap_pages``.
+
+    Movement the plan cannot avoid is exempt from the cap:
+
+    * capacity delta — if the tenant pool shrank, the difference must be
+      shed somewhere regardless of damping;
+    * membership handoff — shards masked inactive by ``active`` are
+      zeroed first (a leaving shard drains fully; damping never strands
+      budget on a shard that is off the ring).
+
+    The capped grow/shed amounts are distributed over the shards
+    proportionally to their planned deltas by the same largest-remainder
+    method the rest of the planner uses, so damping is deterministic.
+    """
+    if len(previous) != len(target):
+        raise ValueError("grant vectors must have equal length")
+    if cap_pages < 0:
+        raise ValueError(f"cap_pages must be non-negative: {cap_pages}")
+    start = list(previous)
+    if active is not None:
+        if len(active) != len(start):
+            raise ValueError("active mask must match grant vectors")
+        # Handoff exemption: budget on inactive shards is forcibly freed
+        # and re-enters the plan as mandatory growth elsewhere.
+        start = [
+            pages if alive else 0 for pages, alive in zip(start, active)
+        ]
+    deltas = [want - have for have, want in zip(start, target)]
+    grown = sum(delta for delta in deltas if delta > 0)
+    shed = -sum(delta for delta in deltas if delta < 0)
+    if min(grown, shed) <= cap_pages:
+        return list(target)
+    forced = sum(target) - sum(start)
+    allowed_grow = cap_pages + max(0, forced)
+    allowed_shed = cap_pages + max(0, -forced)
+    grow_share = apportion(
+        allowed_grow, [max(0, delta) for delta in deltas], floor=0
     )
+    shed_share = apportion(
+        allowed_shed, [max(0, -delta) for delta in deltas], floor=0
+    )
+    return [
+        have + grow - shed_part
+        for have, grow, shed_part in zip(start, grow_share, shed_share)
+    ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, TYPE_CHECKING
 
 from repro.bench.reporting import overhead_percent
+from repro.cluster.rebalancer import lease_churn
 from repro.parallel.report import checksum, deterministic_view, dumps
 from repro.perf.timer import timestamp
 
@@ -70,7 +71,8 @@ def _run_summary(
         ),
     }
     if plan.schedules is not None:
-        summary["pool"] = {
+        shard_ids = range(len(plan.leases[0])) if plan.leases else range(0)
+        pool: Dict[str, object] = {
             "capacity_schedule": list(plan.capacity_schedule),
             "leased_per_epoch": [
                 sum(lease.pages for lease in epoch_leases)
@@ -84,11 +86,34 @@ def _run_summary(
                         plan.leases[epoch][shard].pages
                         - plan.leases[epoch - 1][shard].pages,
                     )
-                    for shard in range(plan.spec.shards)
+                    for shard in shard_ids
                 )
                 for epoch in range(1, len(plan.leases))
             ],
         }
+        if not plan.spec.is_legacy():
+            # The moved_per_epoch view above counts only the grown side,
+            # which undercounts drain work whenever degradation shrinks
+            # the pool between epochs.  Modern runs report both sides.
+            churns = [
+                lease_churn(
+                    [lease.pages for lease in plan.leases[epoch - 1]],
+                    [lease.pages for lease in plan.leases[epoch]],
+                )
+                for epoch in range(1, len(plan.leases))
+            ]
+            pool["churn"] = {
+                "grown_per_epoch": [0] + [c.grown for c in churns],
+                "shed_per_epoch": [0] + [c.shed for c in churns],
+                "moved_per_epoch": [0] + [c.moved for c in churns],
+                "total_grown_pages": sum(c.grown for c in churns),
+                "total_shed_pages": sum(c.shed for c in churns),
+            }
+        if plan.starved:
+            pool["demand_starved"] = list(plan.starved)
+        summary["pool"] = pool
+        if plan.misallocation is not None:
+            summary["misallocation"] = plan.misallocation
     return summary
 
 
@@ -145,7 +170,7 @@ def build_cluster_report(
     assigned by :func:`repro.cluster.runner.shard_jobs` (plan order,
     then shard order) — the same arithmetic slices them back here.
     """
-    expected = sum(plan.spec.shards for plan in plans)
+    expected = sum(plan.spec.total_shards() for plan in plans)
     missing = set(range(expected)) - set(results)
     if missing:
         raise ValueError(f"results missing job indices: {sorted(missing)}")
@@ -154,27 +179,28 @@ def build_cluster_report(
     index = 0
     for plan in plans:
         shards = []
-        for _ in range(plan.spec.shards):
+        for _ in range(plan.spec.total_shards()):
             payload = results[index]
             shards.append(
                 {"job": payload["job"], "result": payload["result"]}
             )
             job_wall_s[str(index)] = round(payload["wall_s"], 6)
             index += 1
-        runs.append(
-            {
-                "spec": plan.spec.as_dict(),
-                "ring_checksum": plan.ring_checksum,
-                "demands": plan.demands,
-                "leases": [
-                    [lease.as_dict() for lease in epoch_leases]
-                    for epoch_leases in plan.leases
-                ],
-                "events": plan.events,
-                "shards": shards,
-                "summary": _run_summary(plan, shards),
-            }
-        )
+        run: Dict[str, object] = {
+            "spec": plan.spec.as_dict(),
+            "ring_checksum": plan.ring_checksum,
+            "demands": plan.demands,
+            "leases": [
+                [lease.as_dict() for lease in epoch_leases]
+                for epoch_leases in plan.leases
+            ],
+            "events": plan.events,
+            "shards": shards,
+            "summary": _run_summary(plan, shards),
+        }
+        if plan.migrations:
+            run["migrations"] = plan.migrations
+        runs.append(run)
     report: Dict[str, object] = {
         "schema_version": CLUSTER_SCHEMA_VERSION,
         "grid": grid.as_dict(),

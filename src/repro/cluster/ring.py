@@ -130,6 +130,13 @@ class HashRing:
         at[at == len(self._positions)] = 0
         return np.asarray(self._owners, dtype=np.int64)[at]
 
+    def _owner_at(self, position: int) -> int:
+        """The shard owning hashes at exactly ``position`` on the ring."""
+        at = bisect_right(self._positions, position)
+        if at == len(self._positions):
+            at = 0
+        return self._owners[at]
+
     # -- reconfiguration ---------------------------------------------------
 
     def with_shard(self, shard: int) -> "HashRing":
@@ -146,6 +153,70 @@ class HashRing:
             raise ValueError(f"shard {shard} not on the ring")
         remaining = tuple(s for s in self.shard_ids if s != shard)
         return HashRing(remaining, vnodes=self.vnodes, seed=self.seed)
+
+    # -- membership-change deltas ------------------------------------------
+
+    def diff_arcs(
+        self, other: "HashRing"
+    ) -> List[Tuple[int, int, int, int]]:
+        """The ring arcs whose owner differs between ``self`` and ``other``.
+
+        Returns ``(start, end, self_owner, other_owner)`` tuples with
+        ``start < end``: keys hashing into ``[start, end)`` are owned by
+        ``self_owner`` on this ring and ``other_owner`` on the other.
+        Arcs wrapping past the top of the ring are split at 0, so the
+        list is a flat, sorted partition of the moved keyspace — this is
+        the "which key ranges move" answer a shard migration needs.
+        Adjacent moved arcs with the same owner pair are merged.
+        """
+        boundaries = sorted(set(self._positions) | set(other._positions))
+        if not boundaries:
+            return []
+        arcs: List[Tuple[int, int, int, int]] = []
+
+        def emit(start: int, end: int) -> None:
+            # The owner of [start, end) is the owner of hash `start` —
+            # shard_for sends a hash to the first point strictly above it.
+            mine = self._owner_at(start)
+            theirs = other._owner_at(start)
+            if mine == theirs:
+                return
+            if arcs and arcs[-1][1] == start and arcs[-1][2:] == (mine, theirs):
+                arcs[-1] = (arcs[-1][0], end, mine, theirs)
+                return
+            arcs.append((start, end, mine, theirs))
+
+        if boundaries[0] > 0:
+            emit(0, boundaries[0])
+        for at in range(len(boundaries) - 1):
+            emit(boundaries[at], boundaries[at + 1])
+        if boundaries[-1] < RING_SIZE:
+            emit(boundaries[-1], RING_SIZE)
+        return arcs
+
+    def moved_arc_fraction(self, other: "HashRing") -> float:
+        """Fraction of the ring's arc whose owner differs from ``other``.
+
+        The consistent-hashing contract says a single-shard membership
+        change moves ~1/N of the keyspace; this measures it exactly.
+        """
+        moved = sum(end - start for start, end, _, _ in self.diff_arcs(other))
+        return moved / RING_SIZE
+
+    def moved_keys(
+        self, other: "HashRing", keys: Sequence[bytes]
+    ) -> List[bytes]:
+        """The subset of ``keys`` whose owner differs between the rings.
+
+        Order-preserving, so the caller's handoff replay is
+        deterministic.  Routes both rings vectorized when the keys are
+        equal-width (the YCSB keyspace always is).
+        """
+        if not keys:
+            return []
+        mine = self.shard_for_many(keys)
+        theirs = other.shard_for_many(keys)
+        return [key for key, m, t in zip(keys, mine, theirs) if m != t]
 
     # -- introspection -----------------------------------------------------
 

@@ -12,29 +12,40 @@ Determinism protocol (everything is a pure function of the spec):
 1. **Demand probe** — the coordinator streams the global op stream once
    and counts distinct written keys per (tenant, shard, epoch segment).
    Zipfian skew shows up here as hot shards demanding more budget.
-2. **Lease planning** — *reactive* rebalancing: epoch 0 is an even
-   split (no history yet), epoch ``e`` is apportioned from the demand
-   observed during epoch ``e-1``, with pool degradation steps applied
-   at their scheduled epochs.  The coordinator emits
+2. **Lease planning** — a pluggable demand predictor
+   (:mod:`repro.cluster.forecast`) forecasts each epoch's demand matrix
+   from observed history.  The ``last-epoch`` default reproduces the
+   original reactive protocol exactly: epoch 0 is an even split (no
+   history yet), epoch ``e`` is apportioned from the demand observed
+   during epoch ``e-1``.  Pool degradation steps apply at their
+   scheduled epochs, an optional churn cap damps voluntary lease
+   movement, and ring-membership changes hand budget and keys between
+   shards.  The coordinator emits
    :class:`~repro.obs.events.ShardRebalance` /
-   :class:`~repro.obs.events.BudgetLease` events.
+   :class:`~repro.obs.events.BudgetLease` events, plus
+   :class:`~repro.obs.events.ShardMigration` /
+   :class:`~repro.obs.events.BudgetHandoff` /
+   :class:`~repro.obs.events.DemandStarved` when those conditions
+   arise.
 3. **Shard execution** — one hermetic :class:`ShardJob` per shard rides
    :func:`repro.parallel.engine.execute_jobs` (one shard per worker
    process, any ``--jobs`` count, order-blind merge).  Each worker
-   rebuilds the ring, replays the global stream filtered to its own
-   keys, and re-tunes its dirty budget to the leased schedule at
-   segment boundaries (shrink drains first, exactly like section 8's
-   battery-degradation path).
+   rebuilds the per-epoch ring schedule, replays the global stream
+   filtered to its own keys, re-tunes its dirty budget to the leased
+   schedule at segment boundaries (shrink drains first, exactly like
+   section 8's battery-degradation path), and replays ownership
+   handoff — keys gained at a membership change are put before any of
+   the new epoch's operations are served.
 
 The merged CLUSTER.json's ``deterministic_view`` is therefore
 byte-identical at any worker count — the cross-shard determinism test
-suite pins it, SIGKILLed shard workers included.
+suite pins it, SIGKILLed shard workers and migration runs included.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, fields
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.bench.runner import (
     ExperimentScale,
@@ -44,10 +55,22 @@ from repro.bench.runner import (
     build_viyojit,
     value_bytes,
 )
+from repro.cluster.forecast import (
+    DEFAULT_EWMA_ALPHA,
+    PREDICTORS,
+    make_predictor,
+    misallocation_report,
+)
 from repro.cluster.pool import BatteryPool, PoolLease
 from repro.cluster.ring import HashRing
 from repro.core.runtime import NVDRAMSystem, Viyojit
-from repro.obs.events import BudgetLease, ShardRebalance
+from repro.obs.events import (
+    BudgetHandoff,
+    BudgetLease,
+    DemandStarved,
+    ShardMigration,
+    ShardRebalance,
+)
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.parallel.engine import Progress, execute_jobs
 from repro.parallel.worker import (
@@ -63,6 +86,7 @@ from repro.workloads.ycsb import (
     generate_operations,
     key_index,
     load_operations,
+    make_key,
 )
 
 #: Pool entry for shard jobs (resolved by the engine's dispatcher).
@@ -70,6 +94,136 @@ CLUSTER_POOL_ENTRY = "repro.cluster.runner:pool_run_shard_job"
 
 #: Default Fig-7-style x-axis: total pool battery in paper GB.
 DEFAULT_TOTAL_BUDGETS_GB = (2.0, 6.0, 10.0)
+
+#: Ring-membership actions a :class:`ClusterSpec` schedule may contain.
+MEMBERSHIP_ACTIONS = ("add", "remove")
+
+Membership = Tuple[Tuple[int, str, int], ...]
+
+
+def _normalize_membership(
+    raw: Sequence[Sequence[object]], shards: int, epochs: int
+) -> Membership:
+    """Validate and canonicalize a membership-change schedule.
+
+    Entries are ``(epoch, action, shard)``.  Changes land in ``[1,
+    epochs)`` (epoch 0's ring is the spec's initial ring), added shard
+    ids are dense starting at ``shards`` (so every shard id below the
+    total is meaningful), and the schedule is replayed here to reject
+    impossible sequences — removing an absent shard, emptying the ring —
+    at construction time rather than mid-run.
+    """
+    normalized = tuple(
+        (int(epoch), str(action), int(shard)) for epoch, action, shard in raw
+    )
+    normalized = tuple(
+        sorted(normalized, key=lambda entry: entry[0])
+    )  # stable: same-epoch entries keep their given order
+    members: Set[int] = set(range(shards))
+    added = 0
+    for epoch, action, shard in normalized:
+        if action not in MEMBERSHIP_ACTIONS:
+            raise ValueError(
+                f"membership action must be one of {MEMBERSHIP_ACTIONS}: "
+                f"{action!r}"
+            )
+        if not 1 <= epoch < epochs:
+            raise ValueError(
+                f"membership epoch {epoch} outside [1, {epochs})"
+            )
+        if action == "add":
+            expected = shards + added
+            if shard != expected:
+                raise ValueError(
+                    f"added shard ids must be dense: expected {expected}, "
+                    f"got {shard}"
+                )
+            members.add(shard)
+            added += 1
+        else:
+            if shard not in members:
+                raise ValueError(
+                    f"cannot remove shard {shard}: not on the ring at "
+                    f"epoch {epoch}"
+                )
+            if len(members) == 1:
+                raise ValueError(
+                    f"cannot remove shard {shard}: the ring would be empty"
+                )
+            members.remove(shard)
+    return normalized
+
+
+def membership_rings(
+    shards: int,
+    vnodes: int,
+    ring_seed: int,
+    membership: Membership,
+    epochs: int,
+) -> List[HashRing]:
+    """The per-epoch ring schedule implied by a membership schedule.
+
+    Epoch 0 is the initial ring over ``range(shards)``; each scheduled
+    change applies *before* its epoch's rebalance.  Epochs without a
+    change reuse the previous ring object, so ``rings[e] is
+    rings[e - 1]`` doubles as the "did the ring change" test.
+    """
+    ring = HashRing(range(shards), vnodes=vnodes, seed=ring_seed)
+    rings = [ring]
+    for epoch in range(1, epochs):
+        for change_epoch, action, shard in membership:
+            if change_epoch != epoch:
+                continue
+            if action == "add":
+                ring = ring.with_shard(shard)
+            else:
+                ring = ring.without_shard(shard)
+        rings.append(ring)
+    return rings
+
+
+def iter_segment_ops(
+    workload: str,
+    record_count: int,
+    operation_count: int,
+    value_size: int,
+    theta: float,
+    seed: int,
+    epochs: int,
+    rotate_keys: int = 0,
+) -> Iterator[Tuple[int, int, Operation]]:
+    """The global op stream, segmented, with optional hotspot rotation.
+
+    Yields ``(position, segment, op)``.  Every consumer of the global
+    stream — the coordinator's demand probe and every shard worker —
+    iterates through this one helper, so the rotation arithmetic cannot
+    drift between them.
+
+    ``rotate_keys`` shifts each non-insert operation's key index by
+    ``segment * rotate_keys`` (mod ``record_count``): the zipfian
+    hotspot physically rotates through the keyspace at epoch
+    boundaries, which is the skew-shifting workload the EWMA predictors
+    exist for.  Inserts are never rotated (their keys extend the
+    keyspace rather than address it).
+    """
+    wspec = YCSB_WORKLOADS[workload]
+    for position, op in enumerate(
+        generate_operations(
+            wspec,
+            record_count=record_count,
+            operation_count=operation_count,
+            value_size=value_size,
+            theta=theta,
+            seed=seed,
+        )
+    ):
+        segment = min(epochs - 1, position * epochs // operation_count)
+        if rotate_keys and op.kind != "insert":
+            index = key_index(op.key)
+            if index < record_count:
+                shifted = (index + segment * rotate_keys) % record_count
+                op = replace(op, key=make_key(shifted))
+        yield position, segment, op
 
 
 @dataclass(frozen=True)
@@ -80,7 +234,23 @@ class ClusterSpec:
     global initial heap (``None`` = full-battery baseline cluster, every
     shard an unconstrained NV-DRAM instance).  ``pool_degrade`` lists
     ``(epoch, fraction)`` health losses applied to the shared pool
-    before that epoch's rebalance.
+    before that epoch's rebalance — at most one step per epoch (compose
+    fractions into one step instead of repeating an epoch).
+
+    The planning knobs added by the forecasting/hysteresis work:
+
+    * ``predictor`` / ``ewma_alpha`` — which demand predictor feeds the
+      rebalancer (:data:`repro.cluster.forecast.PREDICTORS`).
+    * ``churn_cap_pages`` — per-epoch cap on voluntary lease movement
+      (``None`` = undamped).
+    * ``membership`` — ``(epoch, action, shard)`` ring changes; added
+      shard ids are dense starting at ``shards``.
+    * ``hotspot_rotate_keys`` — rotate the workload hotspot by this many
+      keys at each epoch boundary (skew-shifting workload).
+
+    All of them default to the original reactive behaviour; a spec
+    using only defaults (:meth:`is_legacy`) produces byte-identical
+    CLUSTER.json output to the pre-forecasting planner.
     """
 
     shards: int
@@ -97,6 +267,11 @@ class ClusterSpec:
     ring_seed: int = 17
     floor_pages: int = 1
     pool_degrade: Tuple[Tuple[int, float], ...] = ()
+    predictor: str = "last-epoch"
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    churn_cap_pages: Optional[int] = None
+    membership: Membership = ()
+    hotspot_rotate_keys: int = 0
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -148,6 +323,7 @@ class ClusterSpec:
             for epoch, fraction in self.pool_degrade
         )
         object.__setattr__(self, "pool_degrade", normalized)
+        seen_epochs: Set[int] = set()
         for epoch, fraction in normalized:
             if not 0 <= epoch < self.epochs:
                 raise ValueError(
@@ -157,6 +333,50 @@ class ClusterSpec:
                 raise ValueError(
                     f"degradation fraction must be in (0, 1): {fraction}"
                 )
+            if epoch in seen_epochs:
+                raise ValueError(
+                    f"duplicate pool_degrade epoch {epoch}: compose the "
+                    f"fractions into a single step per epoch"
+                )
+            seen_epochs.add(epoch)
+        if self.predictor not in PREDICTORS:
+            raise ValueError(
+                f"unknown predictor {self.predictor!r}; choose from "
+                f"{list(PREDICTORS)}"
+            )
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1]: {self.ewma_alpha}"
+            )
+        if self.churn_cap_pages is not None and self.churn_cap_pages < 0:
+            raise ValueError(
+                f"churn_cap_pages must be non-negative: "
+                f"{self.churn_cap_pages}"
+            )
+        if self.hotspot_rotate_keys < 0:
+            raise ValueError(
+                f"hotspot_rotate_keys must be non-negative: "
+                f"{self.hotspot_rotate_keys}"
+            )
+        object.__setattr__(
+            self,
+            "membership",
+            _normalize_membership(self.membership, self.shards, self.epochs),
+        )
+
+    def is_legacy(self) -> bool:
+        """True when every forecasting/hysteresis knob is at its default.
+
+        Legacy specs follow the original reactive protocol and their
+        CLUSTER.json output stays byte-identical to the pre-forecasting
+        planner (the golden-fixture tests pin this).
+        """
+        return (
+            self.predictor == "last-epoch"
+            and self.churn_cap_pages is None
+            and not self.membership
+            and self.hotspot_rotate_keys == 0
+        )
 
     def scale(self) -> ExperimentScale:
         """The global dataset's experiment scale (shared by all shards)."""
@@ -172,6 +392,12 @@ class ClusterSpec:
             return self.tenant_quotas
         return tuple(1.0 / self.tenants for _ in range(self.tenants))
 
+    def total_shards(self) -> int:
+        """Shard-id universe size: initial shards plus scheduled adds."""
+        return self.shards + sum(
+            1 for _, action, _ in self.membership if action == "add"
+        )
+
     def pool_capacity_pages(self) -> Optional[int]:
         """Total pool budget in pages (None for the baseline cluster)."""
         if self.total_budget_fraction is None:
@@ -181,7 +407,7 @@ class ClusterSpec:
                 self.total_budget_fraction * self.scale().initial_heap_pages
             )
         )
-        return max(self.shards * self.floor_pages, derived)
+        return max(self.total_shards() * self.floor_pages, derived)
 
     def total_budget_gb(self) -> Optional[float]:
         """The paper-GB label of the pool battery (Fig-7-style axis)."""
@@ -190,8 +416,26 @@ class ClusterSpec:
         return round(self.total_budget_fraction * PAPER_HEAP_GB, 2)
 
     def ring(self) -> HashRing:
+        """The epoch-0 ring (initial membership)."""
         return HashRing(
             range(self.shards), vnodes=self.vnodes, seed=self.ring_seed
+        )
+
+    def rings(self) -> List[HashRing]:
+        """The per-epoch ring schedule (see :func:`membership_rings`)."""
+        return membership_rings(
+            self.shards,
+            self.vnodes,
+            self.ring_seed,
+            self.membership,
+            self.epochs,
+        )
+
+    def active(self, epoch: int) -> Tuple[bool, ...]:
+        """Which shard ids are on the ring during ``epoch``."""
+        members = set(self.rings()[epoch].shard_ids)
+        return tuple(
+            shard in members for shard in range(self.total_shards())
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -200,6 +444,21 @@ class ClusterSpec:
             list(self.quotas()) if self.tenants > 1 else None
         )
         data["pool_degrade"] = [list(step) for step in self.pool_degrade]
+        # Default-valued planning knobs are omitted so legacy specs
+        # serialize byte-identically to the pre-forecasting planner
+        # (same precedent as SweepJob.budget_pages).
+        if self.predictor == "last-epoch":
+            data.pop("predictor")
+        if self.ewma_alpha == DEFAULT_EWMA_ALPHA:
+            data.pop("ewma_alpha")
+        if self.churn_cap_pages is None:
+            data.pop("churn_cap_pages")
+        if self.membership:
+            data["membership"] = [list(entry) for entry in self.membership]
+        else:
+            data.pop("membership")
+        if self.hotspot_rotate_keys == 0:
+            data.pop("hotspot_rotate_keys")
         data["total_budget_gb"] = self.total_budget_gb()
         return data
 
@@ -208,11 +467,11 @@ class ClusterSpec:
 class ShardJob:
     """One shard's hermetic execution descriptor (picklable).
 
-    Carries everything a worker needs to rebuild the ring, regenerate
-    the global op stream, filter it to this shard, and apply the leased
-    budget schedule — a retried or re-scheduled job produces the
-    identical payload.  ``budget_schedule`` has one lease per rebalance
-    epoch (``None`` = baseline shard).
+    Carries everything a worker needs to rebuild the per-epoch ring
+    schedule, regenerate the global op stream, filter it to this shard,
+    and apply the leased budget schedule — a retried or re-scheduled
+    job produces the identical payload.  ``budget_schedule`` has one
+    lease per rebalance epoch (``None`` = baseline shard).
     """
 
     index: int
@@ -228,14 +487,29 @@ class ShardJob:
     epochs: int
     tenants: int
     budget_schedule: Optional[Tuple[int, ...]]
+    membership: Membership = ()
+    hotspot_rotate_keys: int = 0
     timeout_s: Optional[float] = None
     # Test hook: same contract as SweepJob.fault_kill_once_path.
     fault_kill_once_path: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if not 0 <= self.shard < self.shards:
+        object.__setattr__(
+            self,
+            "membership",
+            _normalize_membership(self.membership, self.shards, self.epochs),
+        )
+        total = self.shards + sum(
+            1 for _, action, _ in self.membership if action == "add"
+        )
+        if not 0 <= self.shard < total:
             raise ValueError(
-                f"shard {self.shard} outside [0, {self.shards})"
+                f"shard {self.shard} outside [0, {total})"
+            )
+        if self.hotspot_rotate_keys < 0:
+            raise ValueError(
+                f"hotspot_rotate_keys must be non-negative: "
+                f"{self.hotspot_rotate_keys}"
             )
         if self.budget_schedule is not None:
             object.__setattr__(
@@ -252,6 +526,15 @@ class ShardJob:
                         f"leased budget must be positive: {pages}"
                     )
 
+    def rings(self) -> List[HashRing]:
+        return membership_rings(
+            self.shards,
+            self.vnodes,
+            self.ring_seed,
+            self.membership,
+            self.epochs,
+        )
+
     def as_dict(self) -> Dict[str, object]:
         data = asdict(self)
         data.pop("timeout_s")
@@ -261,6 +544,12 @@ class ShardJob:
             if self.budget_schedule is not None
             else None
         )
+        if self.membership:
+            data["membership"] = [list(entry) for entry in self.membership]
+        else:
+            data.pop("membership")
+        if self.hotspot_rotate_keys == 0:
+            data.pop("hotspot_rotate_keys")
         return data
 
 
@@ -274,47 +563,144 @@ class ClusterPlan:
     leases: List[Tuple[PoolLease, ...]]  # per epoch (empty for baseline)
     capacity_schedule: List[int]  # pool capacity per epoch
     schedules: Optional[List[Tuple[int, ...]]]  # per shard (None=baseline)
-    events: List[Dict[str, object]]  # ShardRebalance/BudgetLease dicts
+    events: List[Dict[str, object]]  # coordinator event dicts
+    misallocation: Optional[Dict[str, object]] = None  # modern pools only
+    starved: List[Dict[str, int]] = field(default_factory=list)
+    migrations: List[Dict[str, object]] = field(default_factory=list)
 
 
-def probe_demands(spec: ClusterSpec, ring: HashRing) -> List[List[List[int]]]:
+def _probe(
+    spec: ClusterSpec, rings: Sequence[HashRing]
+) -> Tuple[List[List[List[int]]], List[List[bytes]]]:
+    """One streaming pass: demand matrices plus inserted keys per epoch.
+
+    ``demands[epoch][tenant][shard]`` counts distinct written keys;
+    ``inserts[epoch]`` lists the keys inserts created during that epoch
+    segment (the coordinator needs them to size migration handoffs —
+    live keys are the loaded records plus every insert so far).
+    """
+    total_shards = spec.total_shards()
+    written: List[List[List[set]]] = [
+        [[set() for _ in range(total_shards)] for _ in range(spec.tenants)]
+        for _ in range(spec.epochs)
+    ]
+    inserts: List[List[bytes]] = [[] for _ in range(spec.epochs)]
+    scale = spec.scale()
+    for _, segment, op in iter_segment_ops(
+        spec.workload,
+        spec.record_count,
+        spec.operation_count,
+        scale.value_size,
+        spec.theta,
+        spec.seed,
+        spec.epochs,
+        spec.hotspot_rotate_keys,
+    ):
+        if op.kind == "insert":
+            inserts[segment].append(op.key)
+        if op.kind not in ("update", "insert", "rmw"):
+            continue
+        shard = rings[segment].shard_for(op.key)
+        tenant = key_index(op.key) % spec.tenants
+        written[segment][tenant][shard].add(op.key)
+    demands = [
+        [
+            [
+                len(written[epoch][tenant][shard])
+                for shard in range(total_shards)
+            ]
+            for tenant in range(spec.tenants)
+        ]
+        for epoch in range(spec.epochs)
+    ]
+    return demands, inserts
+
+
+def probe_demands(
+    spec: ClusterSpec, ring: Optional[HashRing] = None
+) -> List[List[List[int]]]:
     """Distinct written keys per (epoch segment, tenant, shard).
 
     One streaming pass over the global op stream; mutating ops (update,
     insert, rmw) contribute their key to the owning shard's demand set
     for the segment the op falls in.  This is the pressure signal the
-    rebalancer apportions by.
+    rebalancer apportions by.  ``ring`` overrides the routing ring for
+    every epoch (membership-free callers); by default the spec's own
+    per-epoch ring schedule routes each segment.
     """
-    written: List[List[List[set]]] = [
-        [[set() for _ in range(spec.shards)] for _ in range(spec.tenants)]
-        for _ in range(spec.epochs)
+    rings = [ring] * spec.epochs if ring is not None else spec.rings()
+    demands, _ = _probe(spec, rings)
+    return demands
+
+
+def _reference_lease_vectors(
+    spec: ClusterSpec,
+    demands: List[List[List[int]]],
+    capacity: int,
+) -> List[List[int]]:
+    """Undamped last-epoch reactive replay of the same run.
+
+    The counterfactual baseline for misallocation reporting: identical
+    pool, degradation schedule, and membership masks, but the original
+    reactive protocol (no forecasting, no churn damping).
+    """
+    pool = BatteryPool(
+        capacity_pages=capacity,
+        shards=spec.total_shards(),
+        tenant_quotas=spec.quotas(),
+        floor_pages=spec.floor_pages,
+    )
+    no_history = [
+        [0 for _ in range(spec.total_shards())]
+        for _ in range(spec.tenants)
     ]
-    wspec = YCSB_WORKLOADS[spec.workload]
-    scale = spec.scale()
-    total = spec.operation_count
-    for position, op in enumerate(
-        generate_operations(
-            wspec,
-            record_count=spec.record_count,
-            operation_count=total,
-            value_size=scale.value_size,
-            theta=spec.theta,
-            seed=spec.seed,
-        )
-    ):
-        if op.kind not in ("update", "insert", "rmw"):
+    vectors: List[List[int]] = []
+    for epoch in range(spec.epochs):
+        for step_epoch, fraction in spec.pool_degrade:
+            if step_epoch == epoch:
+                pool.degrade(fraction)
+        observed = demands[epoch - 1] if epoch > 0 else no_history
+        active = spec.active(epoch) if spec.membership else None
+        leases = pool.rebalance(observed, epoch, active=active)
+        vectors.append([lease.pages for lease in leases])
+    return vectors
+
+
+def _epoch_migrations(
+    spec: ClusterSpec,
+    epoch: int,
+    ring_before: HashRing,
+    live_keys: List[bytes],
+) -> Tuple[HashRing, List[Dict[str, object]]]:
+    """Replay epoch ``epoch``'s membership changes; returns the new ring.
+
+    One migration record per scheduled action, sized against the live
+    keyspace at the boundary (loaded records plus inserts so far) —
+    the coordinator-side mirror of the key handoff every worker
+    replays.
+    """
+    ring = ring_before
+    records: List[Dict[str, object]] = []
+    for change_epoch, action, shard in spec.membership:
+        if change_epoch != epoch:
             continue
-        segment = min(spec.epochs - 1, position * spec.epochs // total)
-        shard = ring.shard_for(op.key)
-        tenant = key_index(op.key) % spec.tenants
-        written[segment][tenant][shard].add(op.key)
-    return [
-        [
-            [len(written[epoch][tenant][shard]) for shard in range(spec.shards)]
-            for tenant in range(spec.tenants)
-        ]
-        for epoch in range(spec.epochs)
-    ]
+        after = (
+            ring.with_shard(shard)
+            if action == "add"
+            else ring.without_shard(shard)
+        )
+        records.append(
+            {
+                "epoch": epoch,
+                "action": action,
+                "shard": shard,
+                "moved_keys": len(ring.moved_keys(after, live_keys)),
+                "arc_moved": round(ring.moved_arc_fraction(after), 6),
+                "shards_after": len(after.shard_ids),
+            }
+        )
+        ring = after
+    return ring, records
 
 
 def plan_cluster(
@@ -322,42 +708,132 @@ def plan_cluster(
 ) -> ClusterPlan:
     """Probe demand and lease the pool for every rebalance epoch.
 
-    Reactive protocol: epoch 0 splits evenly (no demand history exists
-    yet), epoch ``e > 0`` apportions by the demand observed during epoch
-    ``e - 1``.  Degradation steps shrink the pool's health before their
-    epoch's rebalance.  Baseline clusters (no pool) plan no leases.
+    The spec's predictor forecasts each epoch's demand matrix from the
+    demand observed so far (``last-epoch`` with no damping reproduces
+    the original reactive protocol exactly: epoch 0 splits evenly,
+    epoch ``e > 0`` apportions by epoch ``e - 1``'s observation).
+    Degradation steps shrink the pool's health before their epoch's
+    rebalance; membership changes re-ring routing and hand budget
+    between shards; per-epoch L1 misallocation against the clairvoyant
+    plan is measured for every non-legacy pool run.  Baseline clusters
+    (no pool) plan no leases.
     """
-    ring = spec.ring()
-    demands = probe_demands(spec, ring)
+    rings = spec.rings()
+    total_shards = spec.total_shards()
+    demands, inserts = _probe(spec, rings)
     capacity = spec.pool_capacity_pages()
+    live_keys: List[bytes] = [
+        make_key(index) for index in range(spec.record_count)
+    ]
+    events: List[Dict[str, object]] = []
+    migrations: List[Dict[str, object]] = []
+
     if capacity is None:
+        # Baseline cluster: no pool to lease, but membership changes
+        # still move keys, so the migration records are still planned.
+        ring = rings[0]
+        for epoch in range(1, spec.epochs):
+            live_keys.extend(inserts[epoch - 1])
+            if rings[epoch] is rings[epoch - 1]:
+                continue
+            ring, records = _epoch_migrations(spec, epoch, ring, live_keys)
+            migrations.extend(records)
+            for record in records:
+                if tracer.enabled:
+                    tracer.emit(
+                        ShardMigration(
+                            t=epoch,
+                            epoch=epoch,
+                            action=str(record["action"]),
+                            shard=int(record["shard"]),  # type: ignore[arg-type]
+                            moved_keys=int(record["moved_keys"]),  # type: ignore[arg-type]
+                            arc_moved=float(record["arc_moved"]),  # type: ignore[arg-type]
+                            shards_after=int(record["shards_after"]),  # type: ignore[arg-type]
+                        )
+                    )
+                events.append(
+                    {"type": "ShardMigration", "t": epoch, **record}
+                )
         return ClusterPlan(
             spec=spec,
-            ring_checksum=ring.layout_checksum(),
+            ring_checksum=rings[0].layout_checksum(),
             demands=demands,
             leases=[],
             capacity_schedule=[],
             schedules=None,
-            events=[],
+            events=events,
+            migrations=migrations,
         )
+
     pool = BatteryPool(
         capacity_pages=capacity,
-        shards=spec.shards,
+        shards=total_shards,
         tenant_quotas=spec.quotas(),
         floor_pages=spec.floor_pages,
+        churn_cap_pages=spec.churn_cap_pages,
     )
-    no_history = [
-        [0 for _ in range(spec.shards)] for _ in range(spec.tenants)
-    ]
-    events: List[Dict[str, object]] = []
+    predictor = make_predictor(
+        spec.predictor, spec.tenants, total_shards, spec.ewma_alpha
+    )
     capacity_schedule: List[int] = []
+    starved: List[Dict[str, int]] = []
+    ring = rings[0]
+    previous_active = spec.active(0) if spec.membership else None
     for epoch in range(spec.epochs):
+        epoch_events: List[Dict[str, object]] = []
+        if epoch > 0:
+            live_keys.extend(inserts[epoch - 1])
+        if epoch > 0 and rings[epoch] is not rings[epoch - 1]:
+            ring, records = _epoch_migrations(spec, epoch, ring, live_keys)
+            migrations.extend(records)
+            for record in records:
+                if tracer.enabled:
+                    tracer.emit(
+                        ShardMigration(
+                            t=epoch,
+                            epoch=epoch,
+                            action=str(record["action"]),
+                            shard=int(record["shard"]),  # type: ignore[arg-type]
+                            moved_keys=int(record["moved_keys"]),  # type: ignore[arg-type]
+                            arc_moved=float(record["arc_moved"]),  # type: ignore[arg-type]
+                            shards_after=int(record["shards_after"]),  # type: ignore[arg-type]
+                        )
+                    )
+                epoch_events.append(
+                    {"type": "ShardMigration", "t": epoch, **record}
+                )
         for step_epoch, fraction in spec.pool_degrade:
             if step_epoch == epoch:
                 pool.degrade(fraction)
         capacity_schedule.append(pool.capacity_pages)
-        observed = demands[epoch - 1] if epoch > 0 else no_history
-        leases = pool.rebalance(observed, epoch)
+        forecast = predictor.forecast()
+        active = spec.active(epoch) if spec.membership else None
+        if epoch > 0:
+            # The even-split fallback is fine at epoch 0 (no history
+            # exists yet) but a starvation signal afterwards: the
+            # predictor has seen this tenant write nothing anywhere.
+            for tenant in range(spec.tenants):
+                demand_total = sum(
+                    signal
+                    for shard, signal in enumerate(forecast[tenant])
+                    if active is None or active[shard]
+                )
+                if demand_total == 0:
+                    starved.append({"epoch": epoch, "tenant": tenant})
+                    if tracer.enabled:
+                        tracer.emit(
+                            DemandStarved(t=epoch, epoch=epoch, tenant=tenant)
+                        )
+                    epoch_events.append(
+                        {
+                            "type": "DemandStarved",
+                            "t": epoch,
+                            "epoch": epoch,
+                            "tenant": tenant,
+                        }
+                    )
+        leases = pool.rebalance(forecast, epoch, active=active)
+        predictor.observe(demands[epoch])
         moved = pool.moved_pages(epoch)
         # The report's event dicts are built by hand so the dataclasses
         # are only constructed under the tracer guard (the untraced path
@@ -367,7 +843,7 @@ def plan_cluster(
                 ShardRebalance(
                     t=epoch,
                     epoch=epoch,
-                    shards=spec.shards,
+                    shards=total_shards,
                     moved_pages=moved,
                     leased_pages=pool.leased_pages(epoch),
                     capacity_pages=pool.capacity_pages,
@@ -383,18 +859,18 @@ def plan_cluster(
                         demand=lease.demand,
                     )
                 )
-        events.append(
+        epoch_events.append(
             {
                 "type": "ShardRebalance",
                 "t": epoch,
                 "epoch": epoch,
-                "shards": spec.shards,
+                "shards": total_shards,
                 "moved_pages": moved,
                 "leased_pages": pool.leased_pages(epoch),
                 "capacity_pages": pool.capacity_pages,
             }
         )
-        events.extend(
+        epoch_events.extend(
             {
                 "type": "BudgetLease",
                 "t": epoch,
@@ -405,14 +881,70 @@ def plan_cluster(
             }
             for lease in leases
         )
+        if active is not None and previous_active is not None and epoch > 0:
+            previous_leases = pool.lease_history[epoch - 1]
+            for shard in range(total_shards):
+                if active[shard] == previous_active[shard]:
+                    continue
+                kind = "grant" if active[shard] else "release"
+                pages = abs(
+                    leases[shard].pages - previous_leases[shard].pages
+                )
+                if tracer.enabled:
+                    tracer.emit(
+                        BudgetHandoff(
+                            t=epoch,
+                            epoch=epoch,
+                            shard=shard,
+                            pages=pages,
+                            kind=kind,
+                        )
+                    )
+                epoch_events.append(
+                    {
+                        "type": "BudgetHandoff",
+                        "t": epoch,
+                        "epoch": epoch,
+                        "shard": shard,
+                        "pages": pages,
+                        "kind": kind,
+                    }
+                )
+        previous_active = active
+        events.extend(epoch_events)
+    misallocation: Optional[Dict[str, object]] = None
+    if not spec.is_legacy():
+        lease_vectors = [
+            [lease.pages for lease in epoch_leases]
+            for epoch_leases in pool.lease_history
+        ]
+        reference = _reference_lease_vectors(spec, demands, capacity)
+        active_schedule = (
+            [spec.active(epoch) for epoch in range(spec.epochs)]
+            if spec.membership
+            else None
+        )
+        misallocation = misallocation_report(
+            spec.predictor,
+            lease_vectors,
+            reference,
+            demands,
+            capacity_schedule,
+            spec.quotas(),
+            spec.floor_pages,
+            active_schedule,
+        )
     return ClusterPlan(
         spec=spec,
-        ring_checksum=ring.layout_checksum(),
+        ring_checksum=rings[0].layout_checksum(),
         demands=demands,
         leases=pool.lease_history,
         capacity_schedule=capacity_schedule,
         schedules=pool.schedules(),
         events=events,
+        misallocation=misallocation,
+        starved=starved,
+        migrations=migrations,
     )
 
 
@@ -431,8 +963,10 @@ def _apply_lease(system: Viyojit, pages: int) -> None:
 
 def _shard_operations(
     job: ShardJob,
-    ring: HashRing,
+    rings: Sequence[HashRing],
     system: Optional[Viyojit],
+    store,
+    value_size: int,
     counters: Dict[str, object],
 ) -> Iterator[Operation]:
     """The global op stream filtered to this shard, applying leases.
@@ -441,41 +975,61 @@ def _shard_operations(
     goes to precisely one shard — and advancing past an epoch-segment
     boundary re-tunes the budget between this shard's operations, which
     is deterministic because the stream and the schedule both are.
+
+    At a boundary whose ring differs from the previous epoch's, the
+    worker replays the ownership handoff: the lease is applied first
+    (shrinking shards drain under the budget they are giving up), then
+    every live key this shard gains under the new ring is put before
+    any of the epoch's operations are served — the migrated-in data
+    must exist before a read can route here for it.
     """
-    wspec = YCSB_WORKLOADS[job.workload]
-    scale = ExperimentScale(
-        record_count=job.record_count,
-        operation_count=job.operation_count,
-        zipf_theta=job.theta,
-        seed=job.seed,
-    )
     schedule = job.budget_schedule
-    total = job.operation_count
     tenant_ops: List[int] = [0] * job.tenants
     current_segment = 0
     routed = 0
-    for position, op in enumerate(
-        generate_operations(
-            wspec,
-            record_count=job.record_count,
-            operation_count=total,
-            value_size=scale.value_size,
-            theta=job.theta,
-            seed=job.seed,
-        )
+    migrated_in = 0
+    track_keys = bool(job.membership)
+    live_keys: List[bytes] = (
+        [make_key(index) for index in range(job.record_count)]
+        if track_keys
+        else []
+    )
+    for _, segment, op in iter_segment_ops(
+        job.workload,
+        job.record_count,
+        job.operation_count,
+        value_size,
+        job.theta,
+        job.seed,
+        job.epochs,
+        job.hotspot_rotate_keys,
     ):
-        segment = min(job.epochs - 1, position * job.epochs // total)
         while current_segment < segment:
             current_segment += 1
             if schedule is not None and system is not None:
                 _apply_lease(system, schedule[current_segment])
-        if ring.shard_for(op.key) != job.shard:
+            if track_keys and (
+                rings[current_segment] is not rings[current_segment - 1]
+            ):
+                before = rings[current_segment - 1]
+                after = rings[current_segment]
+                for key in before.moved_keys(after, live_keys):
+                    if after.shard_for(key) != job.shard:
+                        continue
+                    store.put(key, value_bytes(key, value_size))
+                    migrated_in += 1
+        if rings[current_segment].shard_for(op.key) != job.shard:
+            if track_keys and op.kind == "insert":
+                live_keys.append(op.key)
             continue
+        if track_keys and op.kind == "insert":
+            live_keys.append(op.key)
         routed += 1
         tenant_ops[key_index(op.key) % job.tenants] += 1
         yield op
     counters["routed_ops"] = routed
     counters["tenant_ops"] = list(tenant_ops)
+    counters["migrated_in_keys"] = migrated_in
 
 
 def _execute_shard(job: ShardJob) -> Dict[str, object]:
@@ -487,9 +1041,7 @@ def _execute_shard(job: ShardJob) -> Dict[str, object]:
         zipf_theta=job.theta,
         seed=job.seed,
     )
-    ring = HashRing(
-        range(job.shards), vnodes=job.vnodes, seed=job.ring_seed
-    )
+    rings = job.rings()
     viyojit: Optional[Viyojit]
     system: NVDRAMSystem
     if job.budget_schedule is None:
@@ -505,13 +1057,16 @@ def _execute_shard(job: ShardJob) -> Dict[str, object]:
     )
     loaded = 0
     for op in load_operations(job.record_count, scale.value_size):
-        if ring.shard_for(op.key) != job.shard:
+        if rings[0].shard_for(op.key) != job.shard:
             continue
         runner.store.put(op.key, value_bytes(op.key, scale.value_size))
         loaded += 1
     counters: Dict[str, object] = {}
     result = runner.run(
-        wspec, operations=_shard_operations(job, ring, viyojit, counters)
+        wspec,
+        operations=_shard_operations(
+            job, rings, viyojit, runner.store, scale.value_size, counters
+        ),
     )
     payload = result_payload(result)
     payload["shard"] = job.shard
@@ -523,6 +1078,8 @@ def _execute_shard(job: ShardJob) -> Dict[str, object]:
         if job.budget_schedule is not None
         else None
     )
+    if job.membership:
+        payload["migrated_in_keys"] = counters["migrated_in_keys"]
     return payload
 
 
@@ -590,6 +1147,11 @@ class ClusterGrid:
     ring_seed: int = 17
     floor_pages: int = 1
     pool_degrade: Tuple[Tuple[int, float], ...] = ()
+    predictor: str = "last-epoch"
+    ewma_alpha: float = DEFAULT_EWMA_ALPHA
+    churn_cap_pages: Optional[int] = None
+    membership: Membership = ()
+    hotspot_rotate_keys: int = 0
 
     def __post_init__(self) -> None:
         if not self.shard_counts:
@@ -628,12 +1190,17 @@ class ClusterGrid:
                         ring_seed=self.ring_seed,
                         floor_pages=self.floor_pages,
                         pool_degrade=self.pool_degrade,
+                        predictor=self.predictor,
+                        ewma_alpha=self.ewma_alpha,
+                        churn_cap_pages=self.churn_cap_pages,
+                        membership=self.membership,
+                        hotspot_rotate_keys=self.hotspot_rotate_keys,
                     )
                 )
         return tuple(out)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "shard_counts": list(self.shard_counts),
             "total_budgets_gb": list(self.total_budgets_gb),
             "workload": self.workload,
@@ -653,6 +1220,19 @@ class ClusterGrid:
             "floor_pages": self.floor_pages,
             "pool_degrade": [list(step) for step in self.pool_degrade],
         }
+        # Default-valued planning knobs are omitted for legacy
+        # byte-compatibility, mirroring ClusterSpec.as_dict.
+        if self.predictor != "last-epoch":
+            data["predictor"] = self.predictor
+        if self.ewma_alpha != DEFAULT_EWMA_ALPHA:
+            data["ewma_alpha"] = self.ewma_alpha
+        if self.churn_cap_pages is not None:
+            data["churn_cap_pages"] = self.churn_cap_pages
+        if self.membership:
+            data["membership"] = [list(entry) for entry in self.membership]
+        if self.hotspot_rotate_keys:
+            data["hotspot_rotate_keys"] = self.hotspot_rotate_keys
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ClusterGrid":
@@ -662,7 +1242,9 @@ class ClusterGrid:
             raise ValueError(f"unknown grid keys: {sorted(unknown)}")
         kwargs: Dict[str, object] = {}
         for key, value in data.items():
-            if key == "pool_degrade" and isinstance(value, list):
+            if key in ("pool_degrade", "membership") and isinstance(
+                value, list
+            ):
                 kwargs[key] = tuple(
                     tuple(step) for step in value  # type: ignore[arg-type]
                 )
@@ -681,13 +1263,15 @@ def shard_jobs(
 
     Global indices run in plan order then shard order — the same
     assignment :func:`repro.cluster.report.build_cluster_report` uses to
-    slice merged results back into runs.
+    slice merged results back into runs.  Runs with membership changes
+    expand over the full shard-id universe (initial plus added shards);
+    a shard that joins late simply routes nothing before its epoch.
     """
     jobs: List[ShardJob] = []
     index = 0
     for plan in plans:
         spec = plan.spec
-        for shard in range(spec.shards):
+        for shard in range(spec.total_shards()):
             jobs.append(
                 ShardJob(
                     index=index,
@@ -707,6 +1291,8 @@ def shard_jobs(
                         if plan.schedules is not None
                         else None
                     ),
+                    membership=spec.membership,
+                    hotspot_rotate_keys=spec.hotspot_rotate_keys,
                     timeout_s=timeout_s,
                 )
             )
@@ -761,7 +1347,10 @@ __all__ = [
     "ClusterGrid",
     "ClusterPlan",
     "ClusterSpec",
+    "MEMBERSHIP_ACTIONS",
     "ShardJob",
+    "iter_segment_ops",
+    "membership_rings",
     "plan_cluster",
     "pool_run_shard_job",
     "probe_demands",

@@ -45,6 +45,16 @@ event               emitted by / meaning
 :class:`BudgetLease`     cluster coordinator — one shard's dirty budget
                          lease for one rebalance epoch; ``t`` is the
                          epoch index, not virtual nanoseconds.
+:class:`DemandStarved`   cluster coordinator — a rebalance epoch had no
+                         demand signal for a tenant (zero written keys
+                         observed), so apportionment fell back to an
+                         even split; ``t`` is the epoch index.
+:class:`ShardMigration`  cluster coordinator — a ring membership change
+                         moved key ranges between shards; ``t`` is the
+                         epoch index.
+:class:`BudgetHandoff`   cluster coordinator — a joining/leaving shard's
+                         budget pages were transferred through the
+                         shared pool; ``t`` is the epoch index.
 ==================  =====================================================
 """
 
@@ -210,6 +220,59 @@ class BudgetLease(TraceEvent):
     demand: int
 
 
+@dataclass(frozen=True)
+class DemandStarved(TraceEvent):
+    """A rebalance epoch apportioned with no demand signal for a tenant.
+
+    Coordinator-level event (``t`` is the epoch index).  The weights the
+    planner handed to :func:`repro.cluster.rebalancer.apportion` were
+    all zero for ``tenant`` — short streams or read-heavy segments — so
+    that tenant's pool fell back to an even split across active shards.
+    Epoch 0's even split is by design (no history exists) and is never
+    flagged.
+    """
+
+    epoch: int
+    tenant: int
+
+
+@dataclass(frozen=True)
+class ShardMigration(TraceEvent):
+    """A ring membership change moved key ranges between shards.
+
+    Coordinator-level event (``t`` is the epoch index).  ``action`` is
+    ``"add"`` or ``"remove"``; ``moved_keys`` counts initial record keys
+    whose owner changed between the old and new rings, and
+    ``arc_moved`` is the fraction of the hash ring's arc that changed
+    ownership.  ``shards_after`` is the active shard count once the
+    change is applied.
+    """
+
+    epoch: int
+    action: str
+    shard: int
+    moved_keys: int
+    arc_moved: float
+    shards_after: int
+
+
+@dataclass(frozen=True)
+class BudgetHandoff(TraceEvent):
+    """Budget pages transferred through the pool at a membership change.
+
+    Coordinator-level event (``t`` is the epoch index).  ``kind`` is
+    ``"release"`` (a leaving shard shrank to the floor and drained its
+    above-floor lease back into the pool) or ``"grant"`` (a joining
+    shard received its first above-floor lease).  ``pages`` is the
+    above-floor page count that changed hands.
+    """
+
+    epoch: int
+    shard: int
+    pages: int
+    kind: str
+
+
 EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     WriteFault,
     SyncEviction,
@@ -223,6 +286,9 @@ EVENT_TYPES: Tuple[Type[TraceEvent], ...] = (
     BatteryDegraded,
     ShardRebalance,
     BudgetLease,
+    DemandStarved,
+    ShardMigration,
+    BudgetHandoff,
 )
 
 EVENT_TYPES_BY_NAME: Dict[str, Type[TraceEvent]] = {

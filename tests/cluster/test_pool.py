@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.cluster import BatteryPool, PoolError, apportion, plan_epoch
-from repro.cluster.rebalancer import moved_pages
+from repro.cluster.rebalancer import lease_churn, moved_pages
 from repro.power.battery import Battery
 from repro.power.power_model import PowerModel
 
@@ -170,3 +170,47 @@ def test_plan_epoch_leases_sum_to_capacity():
     assert sum(leases) == 101
     assert all(lease >= 1 for lease in leases)
     assert sum(sum(row) for row in grants) == 101 - 3
+
+
+def test_plan_epoch_masks_inactive_shards_to_the_floor():
+    grants, leases = plan_epoch(
+        100, [[5, 5, 5]], (1.0,), 1, active=(True, False, True)
+    )
+    assert leases[1] == 1  # inactive shard keeps exactly its floor
+    assert grants[0][1] == 0
+    assert sum(leases) == 100  # capacity still fully apportioned
+    # The even-split fallback also spreads over active shards only.
+    _, fallback = plan_epoch(
+        101, [[0, 0, 0]], (1.0,), 1, active=(True, False, True)
+    )
+    assert fallback[1] == 1
+    assert fallback[0] + fallback[2] == 100
+    with pytest.raises(ValueError):
+        plan_epoch(100, [[1, 1]], (1.0,), 1, active=(False, False))
+    with pytest.raises(ValueError):
+        plan_epoch(100, [[1, 1]], (1.0,), 1, active=(True,))
+
+
+def test_lease_churn_separates_grown_from_shed():
+    churn = lease_churn([10, 10, 10], [14, 6, 4])
+    assert churn.grown == 4
+    assert churn.shed == 10  # degradation epoch: 6 pages left the pool
+    assert churn.moved == 4
+    assert churn.as_dict() == {"grown": 4, "shed": 10, "moved": 4}
+    # The one-number helper keeps its historical grown-side meaning.
+    assert moved_pages([10, 10, 10], [14, 6, 4]) == 4
+
+
+def test_pool_churn_accounting_across_degradation():
+    pool = BatteryPool(capacity_pages=100, shards=2)
+    pool.rebalance([[1, 1]], 0)
+    pool.degrade(0.5)
+    pool.rebalance([[1, 1]], 1)
+    churn = pool.churn(1)
+    assert churn.shed == churn.grown + 50  # the lost capacity is drained
+    assert pool.churn(0).as_dict() == {"grown": 0, "shed": 0, "moved": 0}
+
+
+def test_pool_rejects_negative_churn_cap():
+    with pytest.raises(PoolError):
+        BatteryPool(capacity_pages=100, shards=2, churn_cap_pages=-1)
