@@ -24,7 +24,10 @@ K1   cross-kernel API parity: the object and SoA memory kernels
 P1   fork safety for ``repro.parallel``: pool submissions must target
      module-top-level (picklable, closure-free) functions, and nothing
      reachable from a worker entry point may mutate a module-level
-     mutable global — a lightweight race detector for the sweep engine.
+     mutable global or open a *writable* ``np.memmap`` (read-only
+     ``mode="r"``/``"c"`` maps are the sanctioned way to share a
+     compiled op stream by path) — a lightweight race detector for the
+     sweep engine.
 ==== =================================================================
 
 All four anchor findings to one file/line and honour the standard
@@ -738,6 +741,50 @@ class ForkSafetyRule(ProgramRule):
                         "a cross-process race; pass state through the job "
                         "payload instead",
                     )
+            elif isinstance(node, ast.Call) and self._is_memmap_call(
+                node.func, imports
+            ):
+                # Read-only maps (mode "r" / copy-on-write "c") are the
+                # sanctioned way for workers to share a parent's compiled
+                # op stream by path; anything writable (including the
+                # "r+" default) aliases dirty pages across processes.
+                mode = self._memmap_mode_arg(node)
+                if not (
+                    isinstance(mode, ast.Constant)
+                    and mode.value in ("r", "c")
+                ):
+                    yield self.violation(
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"worker-reachable `{_short(info.qualname)}` opens a "
+                        "writable np.memmap — forked workers would race on "
+                        "the shared pages; open with mode='r' (or "
+                        "copy-on-write 'c') and pass the path through the "
+                        "job payload",
+                    )
+
+    @staticmethod
+    def _is_memmap_call(func: ast.AST, imports: Dict[str, str]) -> bool:
+        """Is this call expression ``np.memmap(...)`` (however imported)?"""
+        if isinstance(func, ast.Attribute) and func.attr == "memmap":
+            return (
+                isinstance(func.value, ast.Name)
+                and imports.get(func.value.id) == "numpy"
+            )
+        if isinstance(func, ast.Name):
+            return imports.get(func.id) == "numpy.memmap"
+        return False
+
+    @staticmethod
+    def _memmap_mode_arg(call: ast.Call) -> Optional[ast.expr]:
+        """The ``mode`` argument expression, keyword or positional."""
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                return keyword.value
+        if len(call.args) > 2:  # np.memmap(filename, dtype, mode, ...)
+            return call.args[2]
+        return None
 
     @staticmethod
     def _own_scope(root: ast.AST) -> Iterable[ast.AST]:

@@ -378,7 +378,7 @@ class YCSBRunner:
         return self._result(spec, executed, elapsed, samples, ssd, bytes_before)
 
     def run_batched(
-        self, spec: WorkloadSpec, batch_size: int = 2048
+        self, spec: WorkloadSpec, batch_size: int = 2048, compiled=None
     ) -> RunResult:
         """Replay one workload through the batched execution path.
 
@@ -388,8 +388,14 @@ class YCSBRunner:
         :mod:`repro.kvstore.fastpath`.  Simulated results are
         byte-identical to :meth:`run` — only wall time changes.  Scans
         (ordered stores) fall back to the per-op path.
+
+        ``compiled`` is an optional pre-compiled stream
+        (:class:`repro.workloads.compiled.CompiledStream`): batches then
+        come from array slices — the same ops, no generator re-run.
         """
         if spec.scan_proportion > 0 or self.store.index is not None:
+            if compiled is not None:
+                return self.run(spec, operations=compiled.operations())
             return self.run(spec)
         from repro.bench.histogram import LatencyHistogram
         from repro.kvstore.fastpath import build_fast_ops
@@ -413,6 +419,7 @@ class YCSBRunner:
             theta=self.scale.zipf_theta,
             seed=self.scale.seed,
             batch_size=batch_size,
+            compiled=compiled,
         ):
             kinds = batch.kinds
             keys = batch.keys
@@ -539,6 +546,7 @@ def run_workload(
     proactive: bool = True,
     execution: str = "per-op",
     budget_pages: Optional[int] = None,
+    compiled=None,
 ) -> RunResult:
     """Convenience: build, load, run.  ``budget_fraction=None`` = baseline.
 
@@ -548,9 +556,23 @@ def run_workload(
     ``budget_pages`` (cluster lease) overrides the fraction-derived
     budget; it is an error without a non-``None`` ``budget_fraction``,
     because the baseline has no budget to override.
+
+    ``compiled`` replays a pre-compiled op stream
+    (:class:`repro.workloads.compiled.CompiledStream`) instead of
+    re-running the generators — it must match the scale's parameters
+    (checked), so simulated results cannot change.
     """
     if execution not in ("per-op", "batched"):
         raise ValueError(f"unknown execution mode: {execution!r}")
+    if compiled is not None:
+        compiled.require(
+            spec,
+            scale.record_count,
+            scale.operation_count,
+            scale.value_size,
+            scale.zipf_theta,
+            scale.seed,
+        )
     if budget_pages is not None and budget_fraction is None:
         raise ValueError(
             "budget_pages overrides a Viyojit budget; the full-battery "
@@ -569,6 +591,8 @@ def run_workload(
     runner = YCSBRunner(sim, system, scale, ordered=spec.scan_proportion > 0)
     if execution == "batched":
         runner.load_batched()
-        return runner.run_batched(spec)
+        return runner.run_batched(spec, compiled=compiled)
     runner.load()
+    if compiled is not None:
+        return runner.run(spec, operations=compiled.operations())
     return runner.run(spec)

@@ -15,6 +15,9 @@ Usage::
     python -m repro crashfind --trace zipfian --crash-points all
                                               # exhaustive crash-point exploration
     python -m repro lint [paths...]           # project-specific static analysis
+    python -m repro compile --out STREAM.ops [--workload A] [--records N]
+                            [--ops N] [--epochs N]
+                                              # compile a workload to a .ops file
     python -m repro perf [--quick] [--out BENCH.json]
                          [--against BASELINE --max-regression 2.0]
                          [--update-baseline [--force]]
@@ -76,6 +79,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
         {"command": "trace", "regenerates": "Structured event trace + epoch timeline"},
         {"command": "crashfind", "regenerates": "Crash-point exploration (durability at every boundary)"},
         {"command": "lint", "regenerates": "Static-analysis report (repro.analysis)"},
+        {"command": "compile", "regenerates": "Compiled op stream (.ops, zero-copy replayable)"},
         {"command": "perf", "regenerates": "Simulator wall-clock benchmarks (BENCH.json)"},
         {"command": "sweep", "regenerates": "Budget x skew x workload grid over a process pool (SWEEP.json)"},
         {"command": "cluster", "regenerates": "Sharded cluster over a shared battery pool (CLUSTER.json)"},
@@ -622,10 +626,60 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_compile(args: argparse.Namespace) -> int:
+    from repro.workloads.compiled import compile_workload, save_ops
+
+    name = args.workload.strip().upper()
+    if not name.startswith("YCSB-"):
+        name = f"YCSB-{name}"
+    if name not in YCSB_WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{sorted(YCSB_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    stream = compile_workload(
+        YCSB_WORKLOADS[name],
+        args.records,
+        args.ops,
+        value_size=args.value_size,
+        theta=args.theta,
+        seed=args.seed,
+        epochs=args.epochs,
+        hotspot_rotate_keys=args.hotspot_rotate,
+    )
+    checksum = save_ops(stream, args.out)
+    print(
+        f"wrote {args.out}: {len(stream)} {name} ops, "
+        f"{args.epochs} epoch(s), sha256 {checksum}"
+    )
+    return 0
+
+
 def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf import compare_reports, run_suite
-    from repro.perf.report import dumps
+    from repro.perf.report import SCHEMA_VERSION, dumps
 
+    baseline = None
+    if args.against:
+        import json as json_mod
+
+        with open(args.against, "r", encoding="utf-8") as handle:
+            baseline = json_mod.load(handle)
+        if baseline.get("schema_version") != SCHEMA_VERSION:
+            # Fail before spending benchmark time, with a distinct exit
+            # code: CI distinguishes "your change is slow" (1) from "the
+            # committed baseline predates the current schema" (3), which
+            # no amount of optimization fixes.
+            print(
+                "schema mismatch: regenerate baseline "
+                f"(baseline schema {baseline.get('schema_version')}, "
+                f"current {SCHEMA_VERSION}; run `repro perf --quick "
+                "--update-baseline`)",
+                file=sys.stderr,
+            )
+            return 3
     try:
         report = run_suite(quick=args.quick, repeats=args.repeats)
     except KeyboardInterrupt:
@@ -680,11 +734,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         with open(BENCH_BASELINE_PATH, "w", encoding="utf-8") as handle:
             handle.write(dumps(report))
         print(f"updated {BENCH_BASELINE_PATH}")
-    if args.against:
-        import json as json_mod
-
-        with open(args.against, "r", encoding="utf-8") as handle:
-            baseline = json_mod.load(handle)
+    if baseline is not None:
         failures = compare_reports(report, baseline, args.max_regression)
         if failures:
             for line in failures:
@@ -850,6 +900,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--list-rules", action="store_true",
                       help="list registered rules and exit")
     lint.set_defaults(func=cmd_lint)
+
+    compile_p = sub.add_parser(
+        "compile",
+        help="compile a YCSB workload into a checksummed .ops stream "
+        "(struct-of-arrays, zero-copy replayable via np.memmap)",
+    )
+    compile_p.add_argument("--workload", type=str, default="A",
+                           help="YCSB workload (default A)")
+    compile_p.add_argument("--records", type=int, default=2_000,
+                           help="record count (default 2000)")
+    compile_p.add_argument("--ops", type=int, default=6_000,
+                           help="operation count (default 6000)")
+    compile_p.add_argument("--value-size", type=int, default=976,
+                           help="value size in bytes (default 976)")
+    compile_p.add_argument("--theta", type=float, default=0.99,
+                           help="zipfian theta (default 0.99)")
+    compile_p.add_argument("--seed", type=int, default=42,
+                           help="workload seed (default 42)")
+    compile_p.add_argument("--epochs", type=int, default=1,
+                           help="epoch segments to mark (default 1)")
+    compile_p.add_argument("--hotspot-rotate", type=int, default=0,
+                           help="rotate the hotspot by this many keys per "
+                           "epoch (default 0)")
+    compile_p.add_argument("--out", type=str, required=True,
+                           help="path for the .ops file")
+    compile_p.set_defaults(func=cmd_compile)
 
     perf = sub.add_parser(
         "perf",

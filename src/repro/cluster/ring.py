@@ -101,6 +101,11 @@ class HashRing:
         self._points = points
         self._positions = [p[0] for p in points]
         self._owners = [p[1] for p in points]
+        # Array mirrors for the vectorized lookups (built once: rings
+        # are immutable, and the compiled pipeline routes millions of
+        # keys through one ring object).
+        self._positions_array = np.array(self._positions, dtype=np.uint64)
+        self._owners_array = np.array(self._owners, dtype=np.int64)
 
     # -- routing -----------------------------------------------------------
 
@@ -124,11 +129,21 @@ class HashRing:
             if len(key) != width:
                 raise ValueError("shard_for_many needs equal-width keys")
         rows = np.frombuffer(b"".join(keys), dtype=np.uint8)
-        hashes = _mix_many(fnv1a_rows(rows.reshape(len(keys), width)))
-        positions = np.asarray(self._positions, dtype=np.uint64)
-        at = np.searchsorted(positions, hashes, side="right")
+        return self.shard_for_rows(rows.reshape(len(keys), width))
+
+    def shard_for_rows(self, rows: np.ndarray) -> np.ndarray:
+        """:meth:`shard_for_many` over pre-packed ``(n, width)`` byte rows.
+
+        The compiled op-stream pipeline keeps keys as uint8 matrices
+        (:func:`repro.workloads.compiled.key_rows`), so routing skips
+        the bytes-object packing entirely.
+        """
+        if len(rows) == 0:
+            return np.empty(0, dtype=np.int64)
+        hashes = _mix_many(fnv1a_rows(rows))
+        at = np.searchsorted(self._positions_array, hashes, side="right")
         at[at == len(self._positions)] = 0
-        return np.asarray(self._owners, dtype=np.int64)[at]
+        return self._owners_array[at]
 
     def _owner_at(self, position: int) -> int:
         """The shard owning hashes at exactly ``position`` on the ring."""

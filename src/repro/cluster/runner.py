@@ -44,8 +44,12 @@ suite pins it, SIGKILLed shard workers and migration runs included.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.bench.runner import (
     ExperimentScale,
@@ -80,12 +84,23 @@ from repro.parallel.worker import (
     result_payload,
 )
 from repro.perf.timer import best_of
+from repro.workloads.compiled import (
+    CODE_INSERT,
+    CODE_RMW,
+    CODE_UPDATE,
+    CompiledStream,
+    KIND_NAMES,
+    compile_workload,
+    key_array,
+    key_rows,
+    open_ops,
+    save_ops,
+)
 from repro.workloads.ycsb import (
     Operation,
     YCSB_WORKLOADS,
     generate_operations,
     key_index,
-    load_operations,
     make_key,
 )
 
@@ -492,6 +507,10 @@ class ShardJob:
     timeout_s: Optional[float] = None
     # Test hook: same contract as SweepJob.fault_kill_once_path.
     fault_kill_once_path: Optional[str] = None
+    # Path to the grid's pre-compiled ``.ops`` stream (opened read-only
+    # in the worker).  Same contract as SweepJob.ops_path: an execution
+    # detail, verified against the job, never part of the payload.
+    ops_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -539,6 +558,7 @@ class ShardJob:
         data = asdict(self)
         data.pop("timeout_s")
         data.pop("fault_kill_once_path")
+        data.pop("ops_path")
         data["budget_schedule"] = (
             list(self.budget_schedule)
             if self.budget_schedule is not None
@@ -569,16 +589,65 @@ class ClusterPlan:
     migrations: List[Dict[str, object]] = field(default_factory=list)
 
 
+def _probe_compiled(
+    spec: ClusterSpec,
+    rings: Sequence[HashRing],
+    stream: CompiledStream,
+) -> Tuple[List[List[List[int]]], List[List[bytes]]]:
+    """The demand probe as vectorized array passes over a compiled stream.
+
+    Per epoch segment: one boolean mask finds the written ops, one
+    ``np.unique`` replaces the per-key set building (a key's tenant and
+    shard are pure functions of the key within an epoch, so distinct
+    indices ≡ distinct keys), one ``shard_for_rows`` routing pass, and
+    one ``np.bincount`` over ``tenant × shard`` buckets.  Output is
+    identical to the per-op :func:`_probe` pass — the equivalence tests
+    pin it.
+    """
+    total_shards = spec.total_shards()
+    demands: List[List[List[int]]] = []
+    inserts: List[List[bytes]] = []
+    for epoch in range(spec.epochs):
+        lo, hi = stream.segment_slice(epoch)
+        codes = np.asarray(stream.codes[lo:hi])
+        indices = np.asarray(stream.key_indices[lo:hi])
+        inserting = codes == CODE_INSERT
+        inserts.append(
+            key_array(indices[inserting]).tolist() if inserting.any() else []
+        )
+        written = (
+            inserting | (codes == CODE_UPDATE) | (codes == CODE_RMW)
+        )
+        matrix = np.zeros((spec.tenants, total_shards), dtype=np.int64)
+        distinct = np.unique(indices[written])
+        if len(distinct):
+            shards = rings[epoch].shard_for_rows(key_rows(distinct))
+            tenants = distinct % spec.tenants
+            matrix = np.bincount(
+                tenants * total_shards + shards,
+                minlength=spec.tenants * total_shards,
+            ).reshape(spec.tenants, total_shards)
+        demands.append([[int(count) for count in row] for row in matrix])
+    return demands, inserts
+
+
 def _probe(
-    spec: ClusterSpec, rings: Sequence[HashRing]
+    spec: ClusterSpec,
+    rings: Sequence[HashRing],
+    stream: Optional[CompiledStream] = None,
 ) -> Tuple[List[List[List[int]]], List[List[bytes]]]:
     """One streaming pass: demand matrices plus inserted keys per epoch.
 
     ``demands[epoch][tenant][shard]`` counts distinct written keys;
     ``inserts[epoch]`` lists the keys inserts created during that epoch
     segment (the coordinator needs them to size migration handoffs —
-    live keys are the loaded records plus every insert so far).
+    live keys are the loaded records plus every insert so far).  With a
+    compiled ``stream`` the probe is the vectorized
+    :func:`_probe_compiled`; without one it replays the per-op
+    generator.
     """
+    if stream is not None:
+        return _probe_compiled(spec, rings, stream)
     total_shards = spec.total_shards()
     written: List[List[List[set]]] = [
         [[set() for _ in range(total_shards)] for _ in range(spec.tenants)]
@@ -617,7 +686,9 @@ def _probe(
 
 
 def probe_demands(
-    spec: ClusterSpec, ring: Optional[HashRing] = None
+    spec: ClusterSpec,
+    ring: Optional[HashRing] = None,
+    stream: Optional[CompiledStream] = None,
 ) -> List[List[List[int]]]:
     """Distinct written keys per (epoch segment, tenant, shard).
 
@@ -626,11 +697,121 @@ def probe_demands(
     for the segment the op falls in.  This is the pressure signal the
     rebalancer apportions by.  ``ring`` overrides the routing ring for
     every epoch (membership-free callers); by default the spec's own
-    per-epoch ring schedule routes each segment.
+    per-epoch ring schedule routes each segment.  ``stream`` vectorizes
+    the pass (see :func:`_probe_compiled`).
     """
     rings = [ring] * spec.epochs if ring is not None else spec.rings()
-    demands, _ = _probe(spec, rings)
+    demands, _ = _probe(spec, rings, stream=stream)
     return demands
+
+
+def stream_route_counts(
+    spec: ClusterSpec,
+    stream: Optional[CompiledStream] = None,
+) -> Dict[str, object]:
+    """The cluster's full stream-consumption work, as one summary dict.
+
+    Performs exactly the op-stream passes a cluster run pays for:
+    the coordinator's demand probe plus, for every shard, the global
+    filtered routing pass its worker replays.  Returns ``demands``
+    (the probe matrices), ``inserted`` (insert count per epoch) and
+    ``routed_ops`` (ops routed to each shard; sums to the operation
+    count times the shard-pass count's worth of routing decisions).
+
+    Without a ``stream`` each pass re-generates the workload per-op —
+    one generator run for the probe and one per shard — which is the
+    pre-compilation cost model.  With a ``stream`` the probe and the
+    routing collapse to vectorized array passes over one compiled
+    stream; the returned counts are identical either way (the
+    equivalence tests pin it).  This is the A/B surface the perf suite
+    benchmarks.
+    """
+    rings = spec.rings()
+    demands, inserts = _probe(spec, rings, stream=stream)
+    total_shards = spec.total_shards()
+    routed = [0] * total_shards
+    if stream is not None:
+        for epoch in range(spec.epochs):
+            lo, hi = stream.segment_slice(epoch)
+            if lo == hi:
+                continue
+            indices = np.asarray(stream.key_indices[lo:hi])
+            owners = rings[epoch].shard_for_rows(key_rows(indices))
+            counts = np.bincount(owners, minlength=total_shards)
+            for shard in range(total_shards):
+                routed[shard] += int(counts[shard])
+    else:
+        scale = spec.scale()
+        for shard in range(total_shards):
+            for _, segment, op in iter_segment_ops(
+                spec.workload,
+                spec.record_count,
+                spec.operation_count,
+                scale.value_size,
+                spec.theta,
+                spec.seed,
+                spec.epochs,
+                spec.hotspot_rotate_keys,
+            ):
+                if rings[segment].shard_for(op.key) == shard:
+                    routed[shard] += 1
+    return {
+        "demands": demands,
+        "inserted": [len(keys) for keys in inserts],
+        "routed_ops": routed,
+    }
+
+
+#: Cache key for one spec's probe output: everything the probe depends
+#: on — the workload stream, the segmentation, the tenant count, and
+#: the ring schedule.  Deliberately excludes every budget knob, so a
+#: grid sweeping budgets probes each workload/ring combination once.
+_ProbeKey = Tuple[
+    str, float, int, int, int, int, int, int, int, int, int, Membership
+]
+
+ProbeCache = Dict[_ProbeKey, Tuple[List[List[List[int]]], List[List[bytes]]]]
+
+
+def _probe_cache_key(spec: ClusterSpec) -> _ProbeKey:
+    return (
+        spec.workload,
+        spec.theta,
+        spec.seed,
+        spec.record_count,
+        spec.operation_count,
+        spec.epochs,
+        spec.tenants,
+        spec.hotspot_rotate_keys,
+        spec.shards,
+        spec.vnodes,
+        spec.ring_seed,
+        spec.membership,
+    )
+
+
+def _cached_probe(
+    spec: ClusterSpec,
+    rings: Sequence[HashRing],
+    stream: Optional[CompiledStream],
+    cache: Optional[ProbeCache],
+) -> Tuple[List[List[List[int]]], List[List[bytes]]]:
+    """:func:`_probe`, memoized on everything the probe depends on.
+
+    The coordinator consumes the probe twice per planned run (lease
+    planning and the :func:`_reference_lease_vectors` counterfactual
+    replay), and a grid re-plans the same workload once per budget —
+    the cache collapses all of that to one probe per distinct
+    (stream, ring schedule, tenants) combination.
+    """
+    if cache is None:
+        return _probe(spec, rings, stream=stream)
+    key = _probe_cache_key(spec)
+    found = cache.get(key)
+    if found is None:
+        found = _probe(spec, rings, stream=stream)
+        cache[key] = found
+    return found
 
 
 def _reference_lease_vectors(
@@ -642,7 +823,9 @@ def _reference_lease_vectors(
 
     The counterfactual baseline for misallocation reporting: identical
     pool, degradation schedule, and membership masks, but the original
-    reactive protocol (no forecasting, no churn damping).
+    reactive protocol (no forecasting, no churn damping).  ``demands``
+    is the coordinator's cached probe output (:func:`_cached_probe`) —
+    this replay never re-streams the workload.
     """
     pool = BatteryPool(
         capacity_pages=capacity,
@@ -704,7 +887,10 @@ def _epoch_migrations(
 
 
 def plan_cluster(
-    spec: ClusterSpec, tracer: Tracer = NULL_TRACER
+    spec: ClusterSpec,
+    tracer: Tracer = NULL_TRACER,
+    stream: Optional[CompiledStream] = None,
+    probe_cache: Optional[ProbeCache] = None,
 ) -> ClusterPlan:
     """Probe demand and lease the pool for every rebalance epoch.
 
@@ -717,10 +903,26 @@ def plan_cluster(
     between shards; per-epoch L1 misallocation against the clairvoyant
     plan is measured for every non-legacy pool run.  Baseline clusters
     (no pool) plan no leases.
+
+    ``stream`` (a compiled op stream matching the spec) vectorizes the
+    demand probe; ``probe_cache`` (shared across a grid's specs)
+    reuses probe output between runs that differ only in budget.
+    Neither can change the plan — only how fast it is computed.
     """
     rings = spec.rings()
     total_shards = spec.total_shards()
-    demands, inserts = _probe(spec, rings)
+    if stream is not None:
+        stream.require(
+            YCSB_WORKLOADS[spec.workload],
+            spec.record_count,
+            spec.operation_count,
+            spec.scale().value_size,
+            spec.theta,
+            spec.seed,
+            epochs=spec.epochs,
+            hotspot_rotate_keys=spec.hotspot_rotate_keys,
+        )
+    demands, inserts = _cached_probe(spec, rings, stream, probe_cache)
     capacity = spec.pool_capacity_pages()
     live_keys: List[bytes] = [
         make_key(index) for index in range(spec.record_count)
@@ -961,6 +1163,93 @@ def _apply_lease(system: Viyojit, pages: int) -> None:
         system.drain_to_budget()
 
 
+def _shard_operations_compiled(
+    job: ShardJob,
+    rings: Sequence[HashRing],
+    system: Optional[Viyojit],
+    store,
+    value_size: int,
+    stream: CompiledStream,
+    counters: Dict[str, object],
+) -> Iterator[Operation]:
+    """:func:`_shard_operations` over a compiled stream: array passes.
+
+    Per epoch segment, ownership is one vectorized ``shard_for_rows``
+    routing pass and tenant attribution one ``np.bincount`` — the
+    worker never materializes another shard's operations.  Boundary
+    semantics replicate the lazy per-op loop exactly: advancing into
+    segment ``e`` applies lease ``e`` then replays the membership
+    handoff sized against the live keyspace *before* ``e``'s first op
+    (records plus every insert at earlier positions, across all
+    shards), and segments past the last operation are never entered.
+    """
+    schedule = job.budget_schedule
+    tenant_ops: List[int] = [0] * job.tenants
+    routed = 0
+    migrated_in = 0
+    track_keys = bool(job.membership)
+    bounds = stream.segment_bounds
+    if track_keys:
+        insert_positions = np.flatnonzero(
+            np.asarray(stream.codes) == CODE_INSERT
+        )
+        insert_keys = key_array(
+            np.asarray(stream.key_indices)[insert_positions]
+        ).tolist()
+        record_keys = key_array(
+            np.arange(job.record_count, dtype=np.int64)
+        ).tolist()
+    last_segment = -1
+    for epoch in range(job.epochs):
+        if bounds[epoch] < bounds[epoch + 1]:
+            last_segment = epoch
+    for segment in range(last_segment + 1):
+        if segment:
+            if schedule is not None and system is not None:
+                _apply_lease(system, schedule[segment])
+            if track_keys and rings[segment] is not rings[segment - 1]:
+                before = rings[segment - 1]
+                after = rings[segment]
+                grown = int(
+                    np.searchsorted(
+                        insert_positions, bounds[segment], side="left"
+                    )
+                )
+                live_keys = record_keys + insert_keys[:grown]
+                for key in before.moved_keys(after, live_keys):
+                    if after.shard_for(key) != job.shard:
+                        continue
+                    store.put(key, value_bytes(key, value_size))
+                    migrated_in += 1
+        lo, hi = int(bounds[segment]), int(bounds[segment + 1])
+        if lo == hi:
+            continue
+        indices = np.asarray(stream.key_indices[lo:hi])
+        owners = rings[segment].shard_for_rows(key_rows(indices))
+        own = owners == job.shard
+        own_count = int(own.sum())
+        if not own_count:
+            continue
+        routed += own_count
+        own_indices = indices[own]
+        per_tenant = np.bincount(
+            own_indices % job.tenants, minlength=job.tenants
+        )
+        for tenant in range(job.tenants):
+            tenant_ops[tenant] += int(per_tenant[tenant])
+        codes = np.asarray(stream.codes[lo:hi])[own].tolist()
+        keys = key_array(own_indices).tolist()
+        sizes = np.asarray(stream.value_sizes[lo:hi])[own].tolist()
+        scans = np.asarray(stream.scan_lengths[lo:hi])[own].tolist()
+        for code, key, size, scan in zip(codes, keys, sizes, scans):
+            yield Operation(
+                KIND_NAMES[code], key, value_size=size, scan_length=scan
+            )
+    counters["routed_ops"] = routed
+    counters["tenant_ops"] = list(tenant_ops)
+    counters["migrated_in_keys"] = migrated_in
+
+
 def _shard_operations(
     job: ShardJob,
     rings: Sequence[HashRing],
@@ -968,6 +1257,7 @@ def _shard_operations(
     store,
     value_size: int,
     counters: Dict[str, object],
+    stream: Optional[CompiledStream] = None,
 ) -> Iterator[Operation]:
     """The global op stream filtered to this shard, applying leases.
 
@@ -982,7 +1272,16 @@ def _shard_operations(
     every live key this shard gains under the new ring is put before
     any of the epoch's operations are served — the migrated-in data
     must exist before a read can route here for it.
+
+    With a compiled ``stream`` the filtering dispatches to the
+    vectorized :func:`_shard_operations_compiled`; the yielded ops and
+    every counter are identical either way.
     """
+    if stream is not None:
+        yield from _shard_operations_compiled(
+            job, rings, system, store, value_size, stream, counters
+        )
+        return
     schedule = job.budget_schedule
     tenant_ops: List[int] = [0] * job.tenants
     current_segment = 0
@@ -1041,6 +1340,22 @@ def _execute_shard(job: ShardJob) -> Dict[str, object]:
         zipf_theta=job.theta,
         seed=job.seed,
     )
+    # The coordinator's compiled stream arrives by path and is opened
+    # read-only (np.memmap): every worker shares the parent's single
+    # compilation through the page cache.
+    stream: Optional[CompiledStream] = None
+    if job.ops_path is not None:
+        stream = open_ops(job.ops_path)
+        stream.require(
+            wspec,
+            job.record_count,
+            job.operation_count,
+            scale.value_size,
+            job.theta,
+            job.seed,
+            epochs=job.epochs,
+            hotspot_rotate_keys=job.hotspot_rotate_keys,
+        )
     rings = job.rings()
     viyojit: Optional[Viyojit]
     system: NVDRAMSystem
@@ -1055,17 +1370,25 @@ def _execute_shard(job: ShardJob) -> Dict[str, object]:
     runner = YCSBRunner(
         sim, system, scale, ordered=wspec.scan_proportion > 0
     )
-    loaded = 0
-    for op in load_operations(job.record_count, scale.value_size):
-        if rings[0].shard_for(op.key) != job.shard:
-            continue
-        runner.store.put(op.key, value_bytes(op.key, scale.value_size))
-        loaded += 1
+    # One vectorized routing pass decides record ownership (put order
+    # stays the sequential key-index order of the load phase).
+    record_indices = np.arange(job.record_count, dtype=np.int64)
+    owned = rings[0].shard_for_rows(key_rows(record_indices)) == job.shard
+    own_record_keys = key_array(record_indices[owned]).tolist()
+    for key in own_record_keys:
+        runner.store.put(key, value_bytes(key, scale.value_size))
+    loaded = len(own_record_keys)
     counters: Dict[str, object] = {}
     result = runner.run(
         wspec,
         operations=_shard_operations(
-            job, rings, viyojit, runner.store, scale.value_size, counters
+            job,
+            rings,
+            viyojit,
+            runner.store,
+            scale.value_size,
+            counters,
+            stream=stream,
         ),
     )
     payload = result_payload(result)
@@ -1258,6 +1581,7 @@ class ClusterGrid:
 def shard_jobs(
     plans: Sequence[ClusterPlan],
     timeout_s: Optional[float] = None,
+    ops_path: Optional[str] = None,
 ) -> List[ShardJob]:
     """The grid's deterministic job expansion: one job per (run, shard).
 
@@ -1266,6 +1590,9 @@ def shard_jobs(
     slice merged results back into runs.  Runs with membership changes
     expand over the full shard-id universe (initial plus added shards);
     a shard that joins late simply routes nothing before its epoch.
+    ``ops_path`` (an execution detail, excluded from payloads) points
+    every job at the coordinator's one compiled ``.ops`` stream — all
+    grid runs share a workload, so one file serves them all.
     """
     jobs: List[ShardJob] = []
     index = 0
@@ -1294,10 +1621,40 @@ def shard_jobs(
                     membership=spec.membership,
                     hotspot_rotate_keys=spec.hotspot_rotate_keys,
                     timeout_s=timeout_s,
+                    ops_path=ops_path,
                 )
             )
             index += 1
     return jobs
+
+
+def _materialize_grid_stream(grid: ClusterGrid, directory: str) -> str:
+    """Compile the grid's one op stream into ``directory``; return path.
+
+    Every spec of a :class:`ClusterGrid` shares the same workload
+    parameters (only shard count and battery vary), so the coordinator
+    compiles exactly once and both the planner's demand probe and every
+    shard worker replay the same memory-mapped arrays.
+    """
+    scale = ExperimentScale(
+        record_count=grid.record_count,
+        operation_count=grid.operation_count,
+        zipf_theta=grid.theta,
+        seed=grid.seed,
+    )
+    stream = compile_workload(
+        YCSB_WORKLOADS[grid.workload],
+        grid.record_count,
+        grid.operation_count,
+        value_size=scale.value_size,
+        theta=grid.theta,
+        seed=grid.seed,
+        epochs=grid.epochs,
+        hotspot_rotate_keys=grid.hotspot_rotate_keys,
+    )
+    path = os.path.join(directory, "cluster.ops")
+    save_ops(stream, path)
+    return path
 
 
 def run_cluster_grid(
@@ -1315,23 +1672,38 @@ def run_cluster_grid(
     byte-identical for any ``jobs`` count.  ``_job_overrides`` lets the
     fault tests substitute doctored shard jobs (kill hooks) without
     widening the public surface.
+
+    The coordinator compiles the grid's op stream exactly once
+    (:func:`_materialize_grid_stream`): planning probes it in-process
+    (with per-epoch demand results cached across specs), and shard
+    workers open the same ``.ops`` file read-only by path.  The file
+    lives only for the duration of the run.
     """
     from repro.cluster.report import build_cluster_report
 
-    plans = [plan_cluster(spec, tracer=tracer) for spec in grid.specs()]
-    job_list = shard_jobs(plans, timeout_s=timeout_s)
-    if _job_overrides:
-        job_list = [
-            _job_overrides.get(job.index, job) for job in job_list
+    with tempfile.TemporaryDirectory(prefix="repro-ops-") as ops_dir:
+        ops_path = _materialize_grid_stream(grid, ops_dir)
+        stream = open_ops(ops_path)
+        probe_cache: ProbeCache = {}
+        plans = [
+            plan_cluster(
+                spec, tracer=tracer, stream=stream, probe_cache=probe_cache
+            )
+            for spec in grid.specs()
         ]
-    results, retries, total_wall_s = execute_jobs(
-        job_list,
-        serial_runner=run_shard_job,
-        pool_entry=CLUSTER_POOL_ENTRY,
-        jobs=jobs,
-        max_retries=max_retries,
-        progress=progress,
-    )
+        job_list = shard_jobs(plans, timeout_s=timeout_s, ops_path=ops_path)
+        if _job_overrides:
+            job_list = [
+                _job_overrides.get(job.index, job) for job in job_list
+            ]
+        results, retries, total_wall_s = execute_jobs(
+            job_list,
+            serial_runner=run_shard_job,
+            pool_entry=CLUSTER_POOL_ENTRY,
+            jobs=jobs,
+            max_retries=max_retries,
+            progress=progress,
+        )
     return build_cluster_report(
         grid,
         plans,
@@ -1357,4 +1729,5 @@ __all__ = [
     "run_cluster_grid",
     "run_shard_job",
     "shard_jobs",
+    "stream_route_counts",
 ]

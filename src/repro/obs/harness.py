@@ -6,6 +6,17 @@ regeneration helper.  Everything that could perturb the event stream is
 pinned: the key distribution, the write offsets, the payload bytes, and
 the read schedule are all pure functions of the spec, so two runs with
 the same :class:`TraceWorkload` produce byte-identical trace dumps.
+
+Relation to :mod:`repro.workloads.compiled`: the YCSB pipeline lowers
+its op streams to struct-of-arrays form once and replays array slices
+(including from an ``.ops`` memmap).  The trace stream here shares the
+same batching contract — :func:`iter_op_batches` flattens back to
+:func:`iter_workload_ops` element-for-element at any ``batch_size`` —
+but it cannot be fully pre-compiled: the read-back *oracle* (which
+bytes a read must observe) depends on the running ``written`` state, so
+the read-or-write decision stays a sequential fold over the chunk.
+Only the stateless parts (zipfian page draws, write offsets) are
+vectorized per chunk.
 """
 
 from __future__ import annotations

@@ -33,13 +33,14 @@ Failure handling:
 from __future__ import annotations
 
 import importlib
+import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.parallel.grid import SweepGrid, SweepJob
 from repro.parallel.report import build_sweep_report
-from repro.parallel.worker import run_sweep_job
+from repro.parallel.worker import materialize_ops_paths, run_sweep_job
 from repro.perf.timer import best_of
 
 Progress = Optional[Callable[[str], None]]
@@ -273,20 +274,27 @@ def run_sweep(
     byte-identical for any ``jobs`` count.  ``_job_overrides`` lets the
     fault tests substitute doctored job descriptors (kill hooks) without
     widening the public surface.
+
+    The parent compiles each distinct op stream once into a temporary
+    ``.ops`` file (:func:`materialize_ops_paths`); workers open it
+    read-only instead of regenerating the workload.  The files live
+    only for the duration of the run.
     """
     job_list: Sequence[SweepJob] = list(grid.jobs(timeout_s=timeout_s))
     if _job_overrides:
         job_list = [
             _job_overrides.get(job.index, job) for job in job_list
         ]
-    results, retries, total_wall_s = execute_jobs(
-        job_list,
-        serial_runner=run_sweep_job,
-        pool_entry=SWEEP_POOL_ENTRY,
-        jobs=jobs,
-        max_retries=max_retries,
-        progress=progress,
-    )
+    with tempfile.TemporaryDirectory(prefix="repro-ops-") as ops_dir:
+        job_list = materialize_ops_paths(job_list, ops_dir)
+        results, retries, total_wall_s = execute_jobs(
+            job_list,
+            serial_runner=run_sweep_job,
+            pool_entry=SWEEP_POOL_ENTRY,
+            jobs=jobs,
+            max_retries=max_retries,
+            progress=progress,
+        )
     return build_sweep_report(
         grid,
         results,

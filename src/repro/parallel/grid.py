@@ -52,6 +52,11 @@ class SweepJob:
     # Test hook: when set, a pool worker touches this file and SIGKILLs
     # itself on the job's first attempt (see repro.parallel.worker).
     fault_kill_once_path: Optional[str] = None
+    # Path to a pre-compiled ``.ops`` stream the worker opens read-only
+    # (np.memmap) instead of regenerating the ops.  Purely an execution
+    # detail — the stream is checked against the job's own parameters,
+    # so it can never change the payload.
+    ops_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.budget_pages is not None:
@@ -69,6 +74,10 @@ class SweepJob:
         data = asdict(self)
         data.pop("timeout_s")
         data.pop("fault_kill_once_path")
+        # An execution detail like timeout_s, never identity: the report
+        # bytes must not depend on whether a compiled stream backed the
+        # run.
+        data.pop("ops_path")
         # Absent for plain sweep jobs so their SWEEP.json bytes are
         # unchanged from before leases existed.
         if self.budget_pages is None:

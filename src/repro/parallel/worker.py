@@ -20,11 +20,13 @@ from __future__ import annotations
 import os
 import signal
 import threading
-from typing import Dict, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.bench.runner import ExperimentScale, RunResult, run_workload
 from repro.parallel.grid import SweepJob
 from repro.perf.timer import best_of
+from repro.workloads.compiled import compile_workload, open_ops, save_ops
 from repro.workloads.ycsb import YCSB_WORKLOADS
 
 
@@ -90,6 +92,10 @@ def run_sweep_job(job: SweepJob, in_worker: bool = False) -> Dict[str, object]:
         zipf_theta=job.theta,
         seed=job.seed,
     )
+    # A pre-compiled stream is opened read-only (np.memmap, mode="r"):
+    # any number of workers can share the parent's one compilation
+    # through the page cache, and nothing in a worker can write to it.
+    compiled = open_ops(job.ops_path) if job.ops_path is not None else None
     alarmed = arm_job_timeout(
         job.timeout_s, f"job {job.index} ({job.workload})"
     )
@@ -103,6 +109,7 @@ def run_sweep_job(job: SweepJob, in_worker: bool = False) -> Dict[str, object]:
                 job.budget_fraction,
                 execution="batched",
                 budget_pages=job.budget_pages,
+                compiled=compiled,
             )
 
         wall_s = best_of(1, one_pass)
@@ -144,3 +151,47 @@ def disarm_job_timeout() -> None:
 def pool_run_job(job: SweepJob) -> Dict[str, object]:
     """Process-pool entry point (arms the worker-only fault hooks)."""
     return run_sweep_job(job, in_worker=True)
+
+
+def materialize_ops_paths(
+    jobs: Sequence[SweepJob], directory: str
+) -> List[SweepJob]:
+    """Compile each distinct op stream of ``jobs`` once, into ``directory``.
+
+    Runs in the *parent* before any worker starts: jobs differing only
+    in budget share one ``.ops`` file, so a whole sweep generates its
+    workload exactly once instead of once per job.  Returns the jobs
+    with ``ops_path`` set (an execution detail — payload bytes cannot
+    change, because the worker checks the stream against the job).
+    """
+    paths: Dict[Tuple[str, float, int, int, int], str] = {}
+    out: List[SweepJob] = []
+    for job in jobs:
+        key = (
+            job.workload,
+            job.theta,
+            job.seed,
+            job.record_count,
+            job.operation_count,
+        )
+        path = paths.get(key)
+        if path is None:
+            scale = ExperimentScale(
+                record_count=job.record_count,
+                operation_count=job.operation_count,
+                zipf_theta=job.theta,
+                seed=job.seed,
+            )
+            stream = compile_workload(
+                YCSB_WORKLOADS[job.workload],
+                job.record_count,
+                job.operation_count,
+                value_size=scale.value_size,
+                theta=job.theta,
+                seed=job.seed,
+            )
+            path = os.path.join(directory, f"sweep-{len(paths)}.ops")
+            save_ops(stream, path)
+            paths[key] = path
+        out.append(replace(job, ops_path=path))
+    return out

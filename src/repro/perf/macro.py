@@ -10,22 +10,43 @@ batching-is-wall-clock-only invariant.  Two further benches time a small
 budget sweep at ``--jobs 1`` and ``--jobs 2``; their ``sim`` sections
 carry the sweep checksum, which must also agree.
 
+The compiled-stream work adds four more: ``*_compiled`` twins replay a
+pre-compiled struct-of-arrays stream through the batched path (their
+``sim`` must equal the batched variants'), the
+``cluster_stream_generator`` / ``cluster_stream_compiled`` pair times
+the 4-shard cluster's full stream consumption (coordinator probe plus
+every shard's routing pass) under both cost models, and
+``scale_replay`` times a verified ``.ops`` reopen plus a vectorized
+replay of a large stream (ten million ops in full mode).
+
 The simulated results land in the deterministic ``sim`` section; wall
 seconds are measured separately with the same best-of-N protocol as the
-micro suite, and the headline ratios (batched vs. per-op, 2 workers
-vs. 1) are summarized under ``wall.speedups``.
+micro suite, and the headline ratios (batched vs. per-op, compiled
+vs. batched, 2 workers vs. 1, compiled routing vs. generator routing)
+are summarized under ``wall.speedups``.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.bench.runner import ExperimentScale, RunResult, run_workload
-from repro.workloads.ycsb import YCSB_A
+import numpy as np
 
-if TYPE_CHECKING:  # runtime import is deferred: repro.parallel measures
-    from repro.parallel.grid import SweepGrid  # its wall time via repro.perf
+from repro.bench.runner import ExperimentScale, RunResult, run_workload
+from repro.workloads.compiled import (
+    CompiledStream,
+    compile_workload,
+    open_ops,
+    save_ops,
+)
+from repro.workloads.ycsb import YCSB_A, YCSB_WORKLOADS
+
+if TYPE_CHECKING:  # runtime imports are deferred: repro.parallel and
+    from repro.cluster.runner import ClusterSpec  # repro.cluster measure
+    from repro.parallel.grid import SweepGrid  # wall time via repro.perf
 
 #: The paper's 2 GB-battery point on the 17.5 GB heap axis.
 BUDGET_FRACTION = 0.175
@@ -59,22 +80,35 @@ def _sim_section(result: RunResult) -> Dict[str, object]:
 
 
 def macro_benches(quick: bool) -> List[MacroBench]:
-    """Both systems x both execution paths, plus the sweep scaling pair."""
+    """Both systems x all execution paths, plus the scaling pairs."""
     scale = ExperimentScale(
         record_count=1_500 if quick else 2_000,
         operation_count=4_000 if quick else 16_000,
     )
+    stream = compile_workload(
+        YCSB_A,
+        scale.record_count,
+        scale.operation_count,
+        value_size=scale.value_size,
+        theta=scale.zipf_theta,
+        seed=scale.seed,
+    )
     benches = []
-    for name, budget, execution in (
-        ("viyojit", BUDGET_FRACTION, "per-op"),
-        ("viyojit_batched", BUDGET_FRACTION, "batched"),
-        ("nvdram", None, "per-op"),
-        ("nvdram_batched", None, "batched"),
+    for name, budget, execution, compiled in (
+        ("viyojit", BUDGET_FRACTION, "per-op", None),
+        ("viyojit_batched", BUDGET_FRACTION, "batched", None),
+        ("viyojit_compiled", BUDGET_FRACTION, "batched", stream),
+        ("nvdram", None, "per-op", None),
+        ("nvdram_batched", None, "batched", None),
+        ("nvdram_compiled", None, "batched", stream),
     ):
-        benches.append(_one_config(name, scale, budget, execution))
+        benches.append(_one_config(name, scale, budget, execution, compiled))
     grid = _sweep_grid(quick)
     for workers in (1, 2):
         benches.append(_sweep_config(f"sweep_jobs{workers}", grid, workers))
+    for compiled_routing in (False, True):
+        benches.append(_cluster_stream_config(quick, compiled_routing))
+    benches.append(_scale_replay_config(quick))
     return benches
 
 
@@ -83,9 +117,12 @@ def _one_config(
     scale: ExperimentScale,
     budget: Optional[float],
     execution: str,
+    compiled: Optional[CompiledStream] = None,
 ) -> MacroBench:
     def one_pass() -> RunResult:
-        return run_workload(YCSB_A, scale, budget, execution=execution)
+        return run_workload(
+            YCSB_A, scale, budget, execution=execution, compiled=compiled
+        )
 
     result = one_pass()
     return MacroBench(
@@ -124,6 +161,109 @@ def _sweep_config(name: str, grid: "SweepGrid", workers: int) -> MacroBench:
         sim={
             "sweep_checksum_sha256": report["checksum_sha256"],
             "jobs": len(report["jobs"]),
+        },
+        one_pass=one_pass,
+    )
+
+
+def _cluster_spec(quick: bool) -> "ClusterSpec":
+    """The stream-consumption bench's 4-shard cluster."""
+    from repro.cluster.runner import ClusterSpec
+
+    return ClusterSpec(
+        shards=4,
+        total_budget_fraction=0.2,
+        record_count=800 if quick else 1_500,
+        operation_count=2_400 if quick else 8_000,
+        epochs=4,
+    )
+
+
+def _cluster_stream_config(quick: bool, compiled: bool) -> MacroBench:
+    """Coordinator probe + per-shard routing, generator vs compiled.
+
+    The generator variant re-streams the workload once for the probe
+    and once per shard — the pre-compilation cost model.  The compiled
+    variant's pass *includes* the compilation, so the speedup ratio is
+    honest end-to-end.  Both variants' ``sim`` sections are identical
+    (same demands, same routed counts).
+    """
+    from repro.cluster.runner import stream_route_counts
+
+    spec = _cluster_spec(quick)
+    scale = spec.scale()
+
+    def one_pass() -> Dict[str, object]:
+        if not compiled:
+            return stream_route_counts(spec)
+        stream = compile_workload(
+            YCSB_WORKLOADS[spec.workload],
+            spec.record_count,
+            spec.operation_count,
+            value_size=scale.value_size,
+            theta=spec.theta,
+            seed=spec.seed,
+            epochs=spec.epochs,
+            hotspot_rotate_keys=spec.hotspot_rotate_keys,
+        )
+        return stream_route_counts(spec, stream=stream)
+
+    counts = one_pass()
+    # Stream passes per run: one probe + one per shard.
+    units = spec.operation_count * (1 + spec.shards)
+    return MacroBench(
+        name=f"cluster_stream_{'compiled' if compiled else 'generator'}",
+        units=units,
+        sim={
+            "shards": spec.shards,
+            "epochs": spec.epochs,
+            "routed_ops": counts["routed_ops"],
+            "inserted": counts["inserted"],
+        },
+        one_pass=one_pass,
+    )
+
+
+def _scale_replay_config(quick: bool) -> MacroBench:
+    """Verified reopen + full vectorized replay of a large ``.ops`` file.
+
+    The stream (sampled in quick mode, ten million ops in full mode) is
+    compiled and serialized once at construction; each timed pass pays
+    the checksum-verified ``np.memmap`` open and one aggregation pass
+    over every op — the floor cost of replaying a compiled stream at
+    scale without touching the simulator.
+    """
+    ops = 640_000 if quick else 10_000_000
+    records = 20_000
+    stream = compile_workload(YCSB_A, records, ops, epochs=8)
+    # Held by the closure (the path is rebuilt from it each pass, so the
+    # directory stays referenced); the finalizer reclaims it when the
+    # bench is garbage-collected.
+    tmpdir = tempfile.TemporaryDirectory(prefix="repro-perf-scale-")
+    save_ops(stream, os.path.join(tmpdir.name, "scale.ops"))
+
+    def one_pass() -> Dict[str, int]:
+        reopened = open_ops(
+            os.path.join(tmpdir.name, "scale.ops"), verify=True
+        )
+        kinds = np.bincount(np.asarray(reopened.codes), minlength=5)
+        per_epoch = np.diff(np.asarray(reopened.segment_bounds))
+        return {
+            "ops": int(kinds.sum()),
+            "updates": int(kinds[1]),
+            "max_epoch_ops": int(per_epoch.max()),
+        }
+
+    facts = one_pass()
+    return MacroBench(
+        name="scale_replay",
+        units=ops,
+        sim={
+            "ops": ops,
+            "records": records,
+            "epochs": 8,
+            "stream_sha256": stream.checksum(),
+            "replay": facts,
         },
         one_pass=one_pass,
     )

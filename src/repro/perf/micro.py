@@ -14,6 +14,8 @@ yields:
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List
 
@@ -25,6 +27,8 @@ from repro.core.runtime import FullBatteryNVDRAM, Viyojit
 from repro.mem.kernel import make_mmu, make_page_table, make_tlb
 from repro.mem.machine import MachineModel
 from repro.sim.events import Simulation
+from repro.workloads.compiled import compile_workload, open_ops, save_ops
+from repro.workloads.ycsb import YCSB_A
 
 
 @dataclass
@@ -211,6 +215,52 @@ def bench_tlb_hot_path(quick: bool) -> MicroBench:
     return MicroBench("tlb_hot_path", "accesses", 2 * ops, sim, one_pass)
 
 
+def bench_compile_stream(quick: bool) -> MicroBench:
+    """One-pass YCSB-A compilation into struct-of-arrays form."""
+    ops = 50_000 if quick else 200_000
+    records = 2_000
+
+    def one_pass() -> str:
+        stream = compile_workload(YCSB_A, records, ops)
+        return stream.checksum()
+
+    checksum = one_pass()
+    sim = {"ops": ops, "records": records, "stream_sha256": checksum}
+    return MicroBench("compile_stream", "ops compiled", ops, sim, one_pass)
+
+
+def bench_ops_roundtrip(quick: bool) -> MicroBench:
+    """``.ops`` save + verified memmap reopen + full-array replay scan.
+
+    The stream is compiled once at construction; each pass pays the
+    serialization, the checksum verification, and one vectorized pass
+    over every section (the aggregation a scale replay performs).
+    """
+    ops = 50_000 if quick else 200_000
+    records = 2_000
+    stream = compile_workload(YCSB_A, records, ops)
+
+    def one_pass() -> int:
+        with tempfile.TemporaryDirectory(prefix="repro-perf-ops-") as d:
+            path = os.path.join(d, "bench.ops")
+            save_ops(stream, path)
+            reopened = open_ops(path)
+            kinds = np.bincount(np.asarray(reopened.codes), minlength=5)
+            touched = int(kinds.sum()) + int(
+                np.asarray(reopened.key_indices).max()
+            )
+        return touched
+
+    touched = one_pass()
+    sim = {
+        "ops": ops,
+        "records": records,
+        "stream_sha256": stream.checksum(),
+        "replay_touched": touched,
+    }
+    return MicroBench("ops_roundtrip", "ops replayed", ops, sim, one_pass)
+
+
 #: Suite order is report order.
 MICRO_BENCHES: List[Callable[[bool], MicroBench]] = [
     bench_write_fault_path,
@@ -218,4 +268,6 @@ MICRO_BENCHES: List[Callable[[bool], MicroBench]] = [
     bench_victim_ranking,
     bench_flusher_throughput,
     bench_tlb_hot_path,
+    bench_compile_stream,
+    bench_ops_roundtrip,
 ]

@@ -20,10 +20,13 @@ Report layout (``SCHEMA_VERSION`` guards it)::
 
 Schema history: v2 added the batched/sweep macro benches and
 ``wall.speedups``; v3 added the top-level ``kernel`` field (which
-memory kernel — ``REPRO_KERNEL`` — produced the numbers).  ``kernel``
-sits in the deterministic view on purpose: the two kernels are
-byte-identical in every simulated stat, so regenerating a baseline
-under the other kernel shows up as exactly one changed line.
+memory kernel — ``REPRO_KERNEL`` — produced the numbers); v4 added the
+compiled-stream benches (``compile_stream`` / ``ops_roundtrip`` micros,
+``*_compiled`` / ``cluster_stream_*`` / ``scale_replay`` macros) and
+their speedup ratios.  ``kernel`` sits in the deterministic view on
+purpose: the two kernels are byte-identical in every simulated stat, so
+regenerating a baseline under the other kernel shows up as exactly one
+changed line.
 
 Everything outside ``wall`` is a pure function of the simulation: two
 runs of the same tree produce byte-identical text once the ``wall`` key
@@ -38,7 +41,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Tuple
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: ``wall.speedups`` entries: label -> (numerator bench, denominator bench);
 #: the ratio is numerator's wall seconds over denominator's, i.e. how many
@@ -46,7 +49,13 @@ SCHEMA_VERSION = 3
 SPEEDUP_PAIRS = {
     "ycsb_a_batched_vs_per_op": ("viyojit", "viyojit_batched"),
     "ycsb_a_nvdram_batched_vs_per_op": ("nvdram", "nvdram_batched"),
+    "ycsb_a_compiled_vs_batched": ("viyojit_batched", "viyojit_compiled"),
+    "ycsb_a_nvdram_compiled_vs_batched": ("nvdram_batched", "nvdram_compiled"),
     "sweep_jobs2_vs_jobs1": ("sweep_jobs1", "sweep_jobs2"),
+    "cluster_stream_compiled_vs_generator": (
+        "cluster_stream_generator",
+        "cluster_stream_compiled",
+    ),
 }
 
 

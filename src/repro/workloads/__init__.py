@@ -22,6 +22,13 @@ from repro.workloads.distributions import (
     UniformGenerator,
     ZipfianGenerator,
 )
+from repro.workloads.compiled import (
+    CompiledStream,
+    compile_workload,
+    open_ops,
+    ops_checksum,
+    save_ops,
+)
 from repro.workloads.ycsb import (
     Operation,
     WorkloadSpec,
@@ -67,6 +74,11 @@ __all__ = [
     "UniformGenerator",
     "HotspotGenerator",
     "CounterGenerator",
+    "CompiledStream",
+    "compile_workload",
+    "open_ops",
+    "ops_checksum",
+    "save_ops",
     "Operation",
     "WorkloadSpec",
     "YCSB_A",

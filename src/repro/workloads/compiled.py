@@ -1,0 +1,646 @@
+"""One-pass workload compiler: op streams as struct-of-arrays.
+
+:func:`generate_operations` is a Python generator — perfectly
+deterministic, but every consumer pays ~microseconds per op, and the
+cluster coordinator plus every shard worker each re-run it over the
+*global* stream (O(consumers × ops) regeneration).  This module lowers
+any seeded YCSB workload into flat numpy arrays once:
+
+====================  ======  =================================================
+section               dtype   meaning
+====================  ======  =================================================
+``codes``             u1      op kind (0 read, 1 update, 2 insert, 3 rmw,
+                              4 scan)
+``key_indices``       <i8     the integer each key encodes (``make_key``
+                              inverse); rotation already applied
+``value_sizes``       <i4     bytes written by mutating ops, 0 otherwise
+``scan_lengths``      <i4     scan span, 0 for non-scans
+``segment_bounds``    <i4     ``epochs + 1`` offsets; segment ``e`` is
+                              ``[bounds[e], bounds[e + 1])``
+====================  ======  =================================================
+
+The compiled stream is **element-for-element equivalent** to
+:func:`generate_operations` (and, rotated, to
+:func:`repro.cluster.runner.iter_segment_ops`): same RNG streams, same
+interleaving of insert-driven ``grow_to`` calls, pinned by the
+hypothesis suite in ``tests/workloads/test_compiled.py``.  Compiling is
+a *wall-clock* optimization only — every simulated stat stays
+byte-identical.
+
+``.ops`` on-disk format (little-endian throughout)::
+
+    offset  0  magic   b"REPROOPS"
+    offset  8  u32     format version (1)
+    offset 12  u32     meta length in bytes
+    offset 16  32 B    sha256 over every byte from offset 48 to EOF
+    offset 48  meta    JSON: stream parameters + section table
+    ...        pad     zeros to the next 8-byte boundary
+    ...        data    sections in table order, each 8-byte aligned
+
+Section offsets in the table are relative to the (aligned) end of the
+meta block, so the header never needs a fixpoint pass.  The checksum
+covers meta *and* data: :func:`open_ops` verifies it before handing out
+arrays, and :meth:`CompiledStream.checksum` computes the identical
+digest in memory, so a saved file's integrity can be asserted without
+reopening it.
+
+:func:`open_ops` maps each section with ``np.memmap(..., mode="r")``:
+zero-copy, page-cache shared, and safely distributable to process-pool
+workers *by path* — read-only mappings cannot race.  (The P1
+fork-safety lint pins that a writable memmap in a worker is still
+flagged.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.workloads.distributions import (
+    CounterGenerator,
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZIPFIAN_CONSTANT,
+)
+from repro.workloads.ycsb import (
+    OpBatch,
+    Operation,
+    WorkloadSpec,
+    YCSB_WORKLOADS,
+    generate_operations,
+    key_index,
+)
+
+OPS_MAGIC = b"REPROOPS"
+OPS_VERSION = 1
+
+_HEADER_LEN = 48
+_CHECKSUM_CHUNK = 1 << 20
+
+#: Code vocabulary: index = code, value = :attr:`Operation.kind`.
+KIND_NAMES: Tuple[str, ...] = ("read", "update", "insert", "rmw", "scan")
+CODE_OF: Dict[str, int] = {kind: code for code, kind in enumerate(KIND_NAMES)}
+
+CODE_READ, CODE_UPDATE, CODE_INSERT, CODE_RMW, CODE_SCAN = range(5)
+
+#: Section table: fixed order and dtypes of the on-disk format.
+_SECTIONS: Tuple[Tuple[str, str], ...] = (
+    ("codes", "u1"),
+    ("key_indices", "<i8"),
+    ("value_sizes", "<i4"),
+    ("scan_lengths", "<i4"),
+    ("segment_bounds", "<i4"),
+)
+
+#: Chooser draws per classification block.  Any value yields the same
+#: stream (the draws are consumed in stream order regardless of
+#: chunking — the same invariance ``iter_op_batches`` relies on).
+_COMPILE_BLOCK = 8192
+#: Streams at or below this op count memoize their decoded batches.
+_BATCH_CACHE_MAX_OPS = 1_000_000
+
+_KEY_WIDTH = 24
+
+
+class OpsFormatError(ValueError):
+    """A ``.ops`` file is malformed or from an incompatible version."""
+
+
+class OpsChecksumError(OpsFormatError):
+    """A ``.ops`` file's contents do not match its stored sha256."""
+
+
+def key_array(indices: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.workloads.ycsb.make_key`: an ``|S24`` array."""
+    if len(indices) == 0:
+        return np.empty(0, dtype=f"S{_KEY_WIDTH}")
+    digits = np.char.zfill(indices.astype("S20"), 20)
+    return np.char.add(b"user", digits)
+
+
+def key_rows(indices: np.ndarray) -> np.ndarray:
+    """Keys as a ``(n, 24)`` uint8 matrix for ``fnv1a_rows`` routing."""
+    if len(indices) == 0:
+        return np.empty((0, _KEY_WIDTH), dtype=np.uint8)
+    keys = np.ascontiguousarray(key_array(indices))
+    return keys.view(np.uint8).reshape(len(indices), _KEY_WIDTH)
+
+
+@dataclass(frozen=True)
+class CompiledStream:
+    """A workload's full op stream in struct-of-arrays form.
+
+    Arrays may be in-memory (fresh from :func:`compile_workload`) or
+    read-only memmaps (from :func:`open_ops`); consumers cannot tell
+    the difference.  Frozen: a stream is a value, shared freely.
+    """
+
+    workload: str
+    record_count: int
+    operation_count: int
+    value_size: int
+    theta: float
+    seed: int
+    epochs: int
+    hotspot_rotate_keys: int
+    codes: np.ndarray
+    key_indices: np.ndarray
+    value_sizes: np.ndarray
+    scan_lengths: np.ndarray
+    segment_bounds: np.ndarray
+    #: batch_size -> materialized OpBatch tuple; at most one entry, and
+    #: only for streams small enough that the decoded batches are cheap
+    #: to hold (see _BATCH_CACHE_MAX_OPS).
+    _batch_cache: Dict[int, Tuple[OpBatch, ...]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @cached_property
+    def has_scans(self) -> bool:
+        return bool((self.codes == CODE_SCAN).any())
+
+    def meta(self) -> Dict[str, object]:
+        """The stream's identifying parameters (what ``require`` checks)."""
+        return {
+            "workload": self.workload,
+            "record_count": self.record_count,
+            "operation_count": self.operation_count,
+            "value_size": self.value_size,
+            "theta": self.theta,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "hotspot_rotate_keys": self.hotspot_rotate_keys,
+        }
+
+    def require(
+        self,
+        spec: WorkloadSpec,
+        record_count: int,
+        operation_count: int,
+        value_size: int,
+        theta: float,
+        seed: int,
+        epochs: Optional[int] = None,
+        hotspot_rotate_keys: Optional[int] = None,
+    ) -> None:
+        """Assert this stream is the one those parameters would compile.
+
+        ``epochs`` / ``hotspot_rotate_keys`` default to "must be the
+        plain un-rotated stream" — what :func:`generate_operations`
+        equivalence needs; segmentation without rotation does not
+        change the ops, so any ``epochs`` is acceptable then.  A caller
+        that consumes ``segment_bounds`` (the cluster pipeline) passes
+        ``epochs`` explicitly, which is then checked unconditionally.
+        """
+        wanted = {
+            "workload": spec.name,
+            "record_count": record_count,
+            "operation_count": operation_count,
+            "value_size": value_size,
+            "theta": theta,
+            "seed": seed,
+        }
+        have = self.meta()
+        mismatched = {
+            name: (have[name], value)
+            for name, value in wanted.items()
+            if have[name] != value
+        }
+        if hotspot_rotate_keys is None:
+            if self.hotspot_rotate_keys != 0:
+                mismatched["hotspot_rotate_keys"] = (
+                    self.hotspot_rotate_keys,
+                    0,
+                )
+        elif self.hotspot_rotate_keys != hotspot_rotate_keys:
+            mismatched["hotspot_rotate_keys"] = (
+                self.hotspot_rotate_keys,
+                hotspot_rotate_keys,
+            )
+        if epochs is not None and self.epochs != epochs:
+            mismatched["epochs"] = (self.epochs, epochs)
+        if mismatched:
+            detail = ", ".join(
+                f"{name}: stream has {have!r}, run wants {want!r}"
+                for name, (have, want) in sorted(mismatched.items())
+            )
+            raise ValueError(f"compiled stream does not match run: {detail}")
+
+    # -- consumption -------------------------------------------------------
+
+    def keys(self, lo: int = 0, hi: Optional[int] = None) -> List[bytes]:
+        """The encoded keys of ``[lo, hi)`` as Python bytes."""
+        stop = len(self) if hi is None else hi
+        return key_array(np.asarray(self.key_indices[lo:stop])).tolist()
+
+    def segment_slice(self, epoch: int) -> Tuple[int, int]:
+        """The op positions ``[lo, hi)`` belonging to epoch ``epoch``."""
+        if not 0 <= epoch < self.epochs:
+            raise ValueError(f"epoch {epoch} outside [0, {self.epochs})")
+        return (
+            int(self.segment_bounds[epoch]),
+            int(self.segment_bounds[epoch + 1]),
+        )
+
+    def operations(self) -> Iterator[Operation]:
+        """The stream as per-op :class:`Operation` tuples.
+
+        Decodes in blocks so per-element numpy access never lands on
+        the hot path; the yielded tuples are indistinguishable from
+        :func:`generate_operations` output.
+        """
+        n = len(self)
+        for lo in range(0, n, _COMPILE_BLOCK):
+            hi = min(n, lo + _COMPILE_BLOCK)
+            codes = self.codes[lo:hi].tolist()
+            keys = self.keys(lo, hi)
+            sizes = self.value_sizes[lo:hi].tolist()
+            scans = self.scan_lengths[lo:hi].tolist()
+            for code, key, size, scan in zip(codes, keys, sizes, scans):
+                yield Operation(
+                    KIND_NAMES[code], key, value_size=size, scan_length=scan
+                )
+
+    def batches(self, batch_size: int = 2048) -> Iterator[OpBatch]:
+        """The stream as :class:`OpBatch` chunks (array-slice reads).
+
+        Chunk boundaries match :func:`iter_op_batches` for the same
+        ``batch_size``, so the batched executors see identical input.
+
+        Replays are memoized: a stream is immutable, so once the
+        batches for a ``batch_size`` have been decoded they are cached
+        on the stream and later replays (repeat benchmark passes, the
+        budget points of a sweep sharing one stream) skip the decode
+        entirely.  Streams above ``_BATCH_CACHE_MAX_OPS`` stay lazy —
+        holding millions of decoded key tuples would defeat the memmap.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive: {batch_size}")
+        if len(self) > _BATCH_CACHE_MAX_OPS:
+            yield from self._decode_batches(batch_size)
+            return
+        cached = self._batch_cache.get(batch_size)
+        if cached is None:
+            cached = tuple(self._decode_batches(batch_size))
+            self._batch_cache.clear()  # at most one batch_size resident
+            self._batch_cache[batch_size] = cached
+        yield from cached
+
+    def _decode_batches(self, batch_size: int) -> Iterator[OpBatch]:
+        n = len(self)
+        scans = self.has_scans
+        for lo in range(0, n, batch_size):
+            hi = min(n, lo + batch_size)
+            kinds = tuple(
+                KIND_NAMES[code] for code in self.codes[lo:hi].tolist()
+            )
+            keys = tuple(self.keys(lo, hi))
+            if scans:
+                yield OpBatch(
+                    kinds=kinds,
+                    keys=keys,
+                    value_size=self.value_size,
+                    scan_lengths=tuple(self.scan_lengths[lo:hi].tolist()),
+                )
+            else:
+                yield OpBatch(
+                    kinds=kinds, keys=keys, value_size=self.value_size
+                )
+
+    def checksum(self) -> str:
+        """sha256 hex of the stream's canonical serialization.
+
+        Identical to the digest stored in (and verified against) a
+        ``.ops`` file written by :func:`save_ops`.
+        """
+        _, _, digest = _payload(self)
+        return digest.hex()
+
+
+def _keygen(spec: WorkloadSpec, record_count: int, theta: float, seed: int):
+    if spec.request_distribution == "zipfian":
+        return ScrambledZipfianGenerator(record_count, theta, seed + 1)
+    if spec.request_distribution == "latest":
+        return LatestGenerator(record_count, theta, seed + 1)
+    return UniformGenerator(record_count, seed + 1)
+
+
+def _compile_indices(
+    spec: WorkloadSpec,
+    record_count: int,
+    operation_count: int,
+    theta: float,
+    seed: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(codes, key_indices, scan_lengths)`` for the un-rotated stream.
+
+    The vectorized path mirrors :func:`iter_op_batches` exactly: the
+    chooser draws are consumed in blocks (stream-order invariant),
+    kinds classify with one threshold compare, insert-free runs take
+    batch ``sample`` draws, and every insert interleaves its
+    ``grow_to`` just like the per-op generator.  Scan mixes interleave
+    ``randrange`` calls in the chooser stream, so they fall back to
+    consuming :func:`generate_operations` op by op (correct, just not
+    vectorized) and recover indices via :func:`key_index`.
+    """
+    codes_out = np.empty(operation_count, dtype=np.uint8)
+    index_out = np.empty(operation_count, dtype=np.int64)
+    scans_out = np.zeros(operation_count, dtype=np.int32)
+
+    if spec.scan_proportion > 0:
+        ops = generate_operations(
+            spec, record_count, operation_count, 1, theta, seed
+        )
+        for at, op in enumerate(ops):
+            codes_out[at] = CODE_OF[op.kind]
+            index_out[at] = key_index(op.key)
+            scans_out[at] = op.scan_length
+        return codes_out, index_out, scans_out
+
+    chooser = random.Random(seed)
+    keygen = _keygen(spec, record_count, theta, seed)
+    inserter = CounterGenerator(record_count)
+    rand = chooser.random
+    read_bound = spec.read_proportion
+    update_bound = read_bound + spec.update_proportion
+    insert_bound = update_bound + spec.insert_proportion
+
+    done = 0
+    while done < operation_count:
+        n = min(_COMPILE_BLOCK, operation_count - done)
+        draws = np.array([rand() for _ in range(n)], dtype=np.float64)
+        codes = np.full(n, CODE_RMW, dtype=np.uint8)
+        codes[draws < insert_bound] = CODE_INSERT
+        codes[draws < update_bound] = CODE_UPDATE
+        codes[draws < read_bound] = CODE_READ
+        codes_out[done : done + n] = codes
+        inserts_at = np.flatnonzero(codes == CODE_INSERT)
+        if len(inserts_at) == 0:
+            index_out[done : done + n] = keygen.sample(n)
+            done += n
+            continue
+        position = 0
+        for insert_at in inserts_at.tolist() + [n]:
+            run = insert_at - position
+            if run:
+                index_out[done + position : done + insert_at] = keygen.sample(
+                    run
+                )
+            if insert_at < n:
+                new_index = inserter.next()
+                keygen.grow_to(new_index + 1)
+                index_out[done + insert_at] = new_index
+            position = insert_at + 1
+        done += n
+    return codes_out, index_out, scans_out
+
+
+def compile_workload(
+    spec: WorkloadSpec,
+    record_count: int,
+    operation_count: int,
+    value_size: int = 1024,
+    theta: float = ZIPFIAN_CONSTANT,
+    seed: int = 42,
+    epochs: int = 1,
+    hotspot_rotate_keys: int = 0,
+) -> CompiledStream:
+    """Lower one seeded workload run into a :class:`CompiledStream`.
+
+    With ``epochs``/``hotspot_rotate_keys`` the stream matches
+    :func:`repro.cluster.runner.iter_segment_ops` (rotation baked into
+    the key indices); at the defaults it matches
+    :func:`generate_operations`.
+    """
+    if record_count <= 0:
+        raise ValueError(f"record_count must be positive: {record_count}")
+    if operation_count < 0:
+        raise ValueError(
+            f"operation_count must be non-negative: {operation_count}"
+        )
+    if value_size <= 0:
+        raise ValueError(f"value_size must be positive: {value_size}")
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive: {epochs}")
+    if hotspot_rotate_keys < 0:
+        raise ValueError(
+            f"hotspot_rotate_keys must be non-negative: {hotspot_rotate_keys}"
+        )
+
+    codes, indices, scan_lengths = _compile_indices(
+        spec, record_count, operation_count, theta, seed
+    )
+    mutating = (
+        (codes == CODE_UPDATE)
+        | (codes == CODE_INSERT)
+        | (codes == CODE_RMW)
+    )
+    value_sizes = np.where(mutating, value_size, 0).astype(np.int32)
+
+    if operation_count:
+        positions = np.arange(operation_count, dtype=np.int64)
+        segments = np.minimum(
+            epochs - 1, positions * epochs // operation_count
+        )
+        bounds = np.searchsorted(segments, np.arange(epochs))
+    else:
+        segments = np.empty(0, dtype=np.int64)
+        bounds = np.zeros(epochs, dtype=np.int64)
+    segment_bounds = np.append(bounds, operation_count).astype(np.int32)
+
+    if hotspot_rotate_keys:
+        rotate = (codes != CODE_INSERT) & (indices < record_count)
+        indices[rotate] = (
+            indices[rotate] + segments[rotate] * hotspot_rotate_keys
+        ) % record_count
+
+    return CompiledStream(
+        workload=spec.name,
+        record_count=record_count,
+        operation_count=operation_count,
+        value_size=value_size,
+        theta=theta,
+        seed=seed,
+        epochs=epochs,
+        hotspot_rotate_keys=hotspot_rotate_keys,
+        codes=codes,
+        key_indices=indices,
+        value_sizes=value_sizes,
+        scan_lengths=scan_lengths,
+        segment_bounds=segment_bounds,
+    )
+
+
+# -- .ops binary format ----------------------------------------------------
+
+
+def _payload(stream: CompiledStream) -> Tuple[int, bytes, bytes]:
+    """``(meta_len, payload, sha256)``: every byte past the fixed header."""
+    table: List[Dict[str, object]] = []
+    blobs: List[bytes] = []
+    at = 0
+    for name, dtype in _SECTIONS:
+        array = np.ascontiguousarray(
+            np.asarray(getattr(stream, name)), dtype=np.dtype(dtype)
+        )
+        blob = array.tobytes()
+        table.append(
+            {"name": name, "dtype": dtype, "count": len(array), "offset": at}
+        )
+        blobs.append(blob)
+        at += len(blob)
+        pad = -at % 8
+        if pad:
+            blobs.append(b"\x00" * pad)
+            at += pad
+    meta = dict(stream.meta())
+    meta["sections"] = table
+    meta_blob = json.dumps(
+        meta, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    head_pad = -(_HEADER_LEN + len(meta_blob)) % 8
+    payload = meta_blob + b"\x00" * head_pad + b"".join(blobs)
+    return len(meta_blob), payload, hashlib.sha256(payload).digest()
+
+
+def save_ops(stream: CompiledStream, path: str) -> str:
+    """Write ``stream`` as a ``.ops`` file; returns the sha256 hex."""
+    meta_len, payload, digest = _payload(stream)
+    header = (
+        OPS_MAGIC
+        + OPS_VERSION.to_bytes(4, "little")
+        + meta_len.to_bytes(4, "little")
+        + digest
+    )
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+    return digest.hex()
+
+
+def ops_checksum(path: str) -> str:
+    """The sha256 hex a ``.ops`` file claims for its contents."""
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER_LEN)
+    if len(header) < _HEADER_LEN or header[:8] != OPS_MAGIC:
+        raise OpsFormatError(f"not a .ops file: {path}")
+    return header[16:48].hex()
+
+
+def open_ops(path: str, verify: bool = True) -> CompiledStream:
+    """Open a ``.ops`` file zero-copy (read-only ``np.memmap`` sections).
+
+    ``verify`` streams the file once through sha256 and raises
+    :class:`OpsChecksumError` on any corruption before a single array
+    element is served.  The mappings are ``mode="r"``: safe to open in
+    any number of pool workers at once (the page cache shares the
+    physical bytes).
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER_LEN)
+        if len(header) < _HEADER_LEN or header[:8] != OPS_MAGIC:
+            raise OpsFormatError(f"not a .ops file: {path}")
+        version = int.from_bytes(header[8:12], "little")
+        if version != OPS_VERSION:
+            raise OpsFormatError(
+                f"unsupported .ops version {version} "
+                f"(this build reads {OPS_VERSION}): {path}"
+            )
+        meta_len = int.from_bytes(header[12:16], "little")
+        stored = header[16:48]
+        if verify:
+            digest = hashlib.sha256()
+            while True:
+                chunk = handle.read(_CHECKSUM_CHUNK)
+                if not chunk:
+                    break
+                digest.update(chunk)
+            if digest.digest() != stored:
+                raise OpsChecksumError(
+                    f"checksum mismatch (corrupt or truncated): {path}"
+                )
+            handle.seek(_HEADER_LEN)
+        meta_blob = handle.read(meta_len)
+        if len(meta_blob) < meta_len:
+            raise OpsFormatError(f"truncated .ops meta: {path}")
+    try:
+        meta = json.loads(meta_blob.decode("utf-8"))
+    except ValueError as exc:
+        raise OpsFormatError(f"unreadable .ops meta: {path}: {exc}") from exc
+    for field_name in (
+        "workload",
+        "record_count",
+        "operation_count",
+        "value_size",
+        "theta",
+        "seed",
+        "epochs",
+        "hotspot_rotate_keys",
+        "sections",
+    ):
+        if field_name not in meta:
+            raise OpsFormatError(f"missing .ops meta field {field_name!r}")
+    if meta["workload"] not in YCSB_WORKLOADS:
+        raise OpsFormatError(f"unknown workload in .ops: {meta['workload']!r}")
+    data_start = _HEADER_LEN + meta_len
+    data_start += -data_start % 8
+    arrays: Dict[str, np.ndarray] = {}
+    table = {section["name"]: section for section in meta["sections"]}
+    for name, dtype in _SECTIONS:
+        section = table.get(name)
+        if section is None or section["dtype"] != dtype:
+            raise OpsFormatError(f"missing .ops section {name!r}: {path}")
+        count = int(section["count"])
+        arrays[name] = (
+            np.memmap(
+                path,
+                dtype=np.dtype(dtype),
+                mode="r",
+                offset=data_start + int(section["offset"]),
+                shape=(count,),
+            )
+            if count
+            else np.empty(0, dtype=np.dtype(dtype))
+        )
+    return CompiledStream(
+        workload=str(meta["workload"]),
+        record_count=int(meta["record_count"]),
+        operation_count=int(meta["operation_count"]),
+        value_size=int(meta["value_size"]),
+        theta=float(meta["theta"]),
+        seed=int(meta["seed"]),
+        epochs=int(meta["epochs"]),
+        hotspot_rotate_keys=int(meta["hotspot_rotate_keys"]),
+        codes=arrays["codes"],
+        key_indices=arrays["key_indices"],
+        value_sizes=arrays["value_sizes"],
+        scan_lengths=arrays["scan_lengths"],
+        segment_bounds=arrays["segment_bounds"],
+    )
+
+
+__all__ = [
+    "CODE_OF",
+    "CompiledStream",
+    "KIND_NAMES",
+    "OPS_MAGIC",
+    "OPS_VERSION",
+    "OpsChecksumError",
+    "OpsFormatError",
+    "compile_workload",
+    "key_array",
+    "key_rows",
+    "open_ops",
+    "ops_checksum",
+    "save_ops",
+]

@@ -277,6 +277,7 @@ def iter_op_batches(
     theta: float = ZIPFIAN_CONSTANT,
     seed: int = 42,
     batch_size: int = 2048,
+    compiled=None,
 ) -> Iterator[OpBatch]:
     """The :func:`generate_operations` stream, materialized in chunks.
 
@@ -288,9 +289,21 @@ def iter_op_batches(
     exactly as repeated ``next`` calls would.  Workloads with scans
     interleave ``randrange`` calls in the chooser stream, so they fall
     back to chunking the per-op generator (correct, just not vectorized).
+
+    ``compiled`` is an optional
+    :class:`repro.workloads.compiled.CompiledStream` backing: batches
+    are then array slices instead of fresh generator runs.  The stream
+    must have been compiled from exactly these parameters (checked), so
+    the output is the same stream either way.
     """
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive: {batch_size}")
+    if compiled is not None:
+        compiled.require(
+            spec, record_count, operation_count, value_size, theta, seed
+        )
+        yield from compiled.batches(batch_size)
+        return
     if spec.scan_proportion > 0:
         ops = generate_operations(
             spec, record_count, operation_count, value_size, theta, seed

@@ -322,6 +322,70 @@ class TestP1ForkSafety:
         report = strict_lint([tree], ["P1"])
         assert findings(report, "P1") == []
 
+    def test_writable_memmap_in_worker_tree_is_flagged(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            """
+            import numpy as np
+
+            def job(path):
+                return np.memmap(path, dtype=np.uint8, mode="r+")
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job, "x.ops")
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert any(
+            "writable np.memmap" in v.message
+            for v in findings(report, "P1")
+        )
+
+    def test_default_mode_memmap_in_worker_tree_is_flagged(self, tmp_path):
+        # np.memmap's default mode is "r+": omitting it is writable too.
+        tree = self.make_tree(
+            tmp_path,
+            """
+            from numpy import memmap
+
+            def job(path):
+                return memmap(path, dtype="u1")
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job, "x.ops")
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert any(
+            "writable np.memmap" in v.message
+            for v in findings(report, "P1")
+        )
+
+    def test_readonly_memmap_in_worker_tree_is_clean(self, tmp_path):
+        tree = self.make_tree(
+            tmp_path,
+            """
+            import numpy as np
+
+            def job(path):
+                return np.memmap(path, dtype=np.uint8, mode="r")
+            """,
+            """
+            from repro.parallel.worker import job
+
+            def run(pool):
+                return pool.submit(job, "x.ops")
+            """,
+        )
+        report = strict_lint([tree], ["P1"])
+        assert findings(report, "P1") == []
+
     def test_shipped_parallel_package_is_fork_safe(self):
         report = strict_lint([SRC / "repro"], ["P1"])
         assert findings(report, "P1") == []

@@ -59,6 +59,67 @@ def test_same_seed_reruns_are_identical(serial_report):
     )
 
 
+def test_compiled_streams_match_generator_byte_for_byte(serial_report):
+    """The pre-compilation execution path produces the same bytes.
+
+    ``run_cluster_grid`` now compiles the grid's op stream once and
+    shares it with the planner and every shard worker; replaying the
+    same grid through the original per-op generators (no stream, no
+    ``ops_path``) must merge to an identical report.
+    """
+    from repro.cluster.report import build_cluster_report
+    from repro.cluster.runner import CLUSTER_POOL_ENTRY, run_shard_job
+    from repro.parallel.engine import execute_jobs
+
+    plans = [plan_cluster(spec) for spec in GRID.specs()]
+    job_list = shard_jobs(plans)
+    assert all(job.ops_path is None for job in job_list)
+    results, retries, total_wall_s = execute_jobs(
+        job_list,
+        serial_runner=run_shard_job,
+        pool_entry=CLUSTER_POOL_ENTRY,
+        jobs=1,
+    )
+    legacy = build_cluster_report(
+        GRID, plans, results, workers=1,
+        total_wall_s=total_wall_s, retries=retries,
+    )
+    assert dumps(legacy, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+
+
+def test_shard_job_ops_path_is_not_identity():
+    plans = [plan_cluster(spec) for spec in GRID.specs()]
+    plain = shard_jobs(plans)
+    backed = shard_jobs(plans, ops_path="/tmp/cluster.ops")
+    for bare, job in zip(plain, backed):
+        assert job.ops_path == "/tmp/cluster.ops"
+        assert "ops_path" not in job.as_dict()
+        assert job.as_dict() == bare.as_dict()
+
+
+def test_coordinator_probes_each_workload_once(monkeypatch):
+    """One grid = one demand probe, however many budgets it sweeps.
+
+    The probe cache memoizes on the stream + ring schedule, so planning
+    N budget points and replaying the reference-lease counterfactual
+    must all reuse a single streaming pass.
+    """
+    from repro.cluster import runner as runner_mod
+
+    calls = []
+    real_probe = runner_mod._probe
+
+    def counting_probe(spec, rings, stream=None):
+        calls.append(spec.total_budget_fraction)
+        return real_probe(spec, rings, stream=stream)
+
+    monkeypatch.setattr(runner_mod, "_probe", counting_probe)
+    run_cluster_grid(GRID, jobs=1)
+    assert len(calls) == 1
+
+
 def test_different_seed_changes_the_bytes(serial_report):
     other = run_cluster_grid(
         dataclasses.replace(GRID, seed=43), jobs=1

@@ -47,6 +47,27 @@ def test_two_workers_match_serial_byte_for_byte(serial_report):
     )
 
 
+def test_compiled_streams_match_generator_byte_for_byte(
+    serial_report, monkeypatch
+):
+    """Bypassing op-stream materialization changes nothing but wall time.
+
+    ``run_sweep`` normally compiles each distinct op stream once and
+    hands workers a ``.ops`` path; with materialization stubbed out the
+    workers fall back to per-job generation, and the report bytes must
+    not move.
+    """
+    from repro.parallel import engine
+
+    monkeypatch.setattr(
+        engine, "materialize_ops_paths", lambda jobs, directory: jobs
+    )
+    generator_report = run_sweep(GRID, jobs=1)
+    assert dumps(generator_report, strip_wall=True) == dumps(
+        serial_report, strip_wall=True
+    )
+
+
 def test_checksum_covers_the_deterministic_view(serial_report):
     assert checksum(serial_report) == serial_report["checksum_sha256"]
     tampered = json_round_trip(serial_report)

@@ -33,6 +33,16 @@ def test_timeout_is_stamped_onto_jobs():
     assert grid.jobs(timeout_s=1.5)[0].timeout_s == 1.5
 
 
+def test_ops_path_is_an_execution_detail_not_identity():
+    """``ops_path`` must never leak into payload dicts (byte stability)."""
+    import dataclasses
+
+    job = SweepGrid().jobs()[0]
+    backed = dataclasses.replace(job, ops_path="/tmp/sweep-0.ops")
+    assert "ops_path" not in backed.as_dict()
+    assert backed.as_dict() == job.as_dict()
+
+
 def test_json_round_trip(tmp_path):
     grid = SweepGrid(
         workloads=("YCSB-F",),

@@ -45,20 +45,54 @@ class TestSchema:
             "victim_ranking",
             "flusher_throughput",
             "tlb_hot_path",
+            "compile_stream",
+            "ops_roundtrip",
         }
         assert set(report["macro"]) == {
             "viyojit",
             "viyojit_batched",
+            "viyojit_compiled",
             "nvdram",
             "nvdram_batched",
+            "nvdram_compiled",
             "sweep_jobs1",
             "sweep_jobs2",
+            "cluster_stream_generator",
+            "cluster_stream_compiled",
+            "scale_replay",
         }
 
     def test_batched_macro_sims_equal_per_op(self, quick_reports):
         report, _ = quick_reports
         assert report["macro"]["viyojit_batched"] == report["macro"]["viyojit"]
         assert report["macro"]["nvdram_batched"] == report["macro"]["nvdram"]
+
+    def test_compiled_macro_sims_equal_batched(self, quick_reports):
+        """Compiled replay is simulation-invisible in the report itself."""
+        report, _ = quick_reports
+        assert (
+            report["macro"]["viyojit_compiled"]
+            == report["macro"]["viyojit_batched"]
+        )
+        assert (
+            report["macro"]["nvdram_compiled"]
+            == report["macro"]["nvdram_batched"]
+        )
+
+    def test_cluster_stream_pair_sims_equal(self, quick_reports):
+        """Vectorized routing returns the generator pass's exact counts."""
+        report, _ = quick_reports
+        generator = report["macro"]["cluster_stream_generator"]
+        compiled = report["macro"]["cluster_stream_compiled"]
+        assert generator == compiled
+        assert generator["shards"] == 4
+        assert sum(generator["routed_ops"]) > 0
+
+    def test_scale_replay_recorded(self, quick_reports):
+        report, _ = quick_reports
+        replay = report["macro"]["scale_replay"]
+        assert replay["replay"]["ops"] == replay["ops"]
+        assert len(replay["stream_sha256"]) == 64
 
     def test_sweep_pair_agrees_on_checksum(self, quick_reports):
         report, _ = quick_reports
@@ -75,7 +109,10 @@ class TestSchema:
         assert set(speedups) == {
             "ycsb_a_batched_vs_per_op",
             "ycsb_a_nvdram_batched_vs_per_op",
+            "ycsb_a_compiled_vs_batched",
+            "ycsb_a_nvdram_compiled_vs_batched",
             "sweep_jobs2_vs_jobs1",
+            "cluster_stream_compiled_vs_generator",
         }
         for ratio in speedups.values():
             assert ratio > 0
@@ -169,3 +206,14 @@ class TestCLI:
                      "--against", str(out), "--max-regression", "50"]) == 0
         captured = capsys.readouterr()
         assert "no wall-clock regression" in captured.out
+
+    def test_against_stale_schema_exits_3(self, tmp_path, capsys):
+        """A baseline from an older schema fails fast with its own code."""
+        from repro.cli import main
+
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"schema_version": SCHEMA_VERSION - 1}))
+        assert main(["perf", "--quick", "--repeats", "1",
+                     "--against", str(stale)]) == 3
+        captured = capsys.readouterr()
+        assert "schema mismatch: regenerate baseline" in captured.err

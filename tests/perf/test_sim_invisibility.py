@@ -69,3 +69,42 @@ def test_fast_paths_are_simulation_invisible(monkeypatch, budget_fraction):
     _disable_fast_paths(monkeypatch)
     deoptimized = _snapshot(run_workload(YCSB_A, SCALE, budget_fraction))
     assert optimized == deoptimized
+
+
+@pytest.mark.parametrize("kernel", ["object", "soa"])
+@pytest.mark.parametrize("budget_fraction", [0.175, None],
+                         ids=["viyojit", "nvdram"])
+def test_compiled_replay_is_simulation_invisible(
+    monkeypatch, budget_fraction, kernel
+):
+    """A compiled stream through the full deopt chain changes nothing.
+
+    The strongest form of the invariant: per-op generator execution on
+    the optimized simulator must match compiled-stream batched execution
+    with every fast path switched off, under either memory kernel.
+    """
+    from repro.workloads.compiled import compile_workload
+
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    reference = _snapshot(
+        run_workload(YCSB_A, SCALE, budget_fraction, execution="per-op")
+    )
+    stream = compile_workload(
+        YCSB_A,
+        SCALE.record_count,
+        SCALE.operation_count,
+        value_size=SCALE.value_size,
+        theta=SCALE.zipf_theta,
+        seed=SCALE.seed,
+    )
+    _disable_fast_paths(monkeypatch)
+    compiled = _snapshot(
+        run_workload(
+            YCSB_A,
+            SCALE,
+            budget_fraction,
+            execution="batched",
+            compiled=stream,
+        )
+    )
+    assert compiled == reference

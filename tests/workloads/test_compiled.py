@@ -1,0 +1,307 @@
+"""The compiled op-stream contract: one-pass lowering, zero drift.
+
+:func:`repro.workloads.compiled.compile_workload` lowers a seeded
+workload run into struct-of-arrays form exactly once; everything the
+repo replays from it — per-op tuples, batches, epoch segments, hotspot
+rotation, ``.ops`` round-trips — must be element-for-element identical
+to the original generators.  Hypothesis drives the equivalence across
+workload mixes, scales, seeds, batch sizes, and rotation amounts; the
+binary-format tests pin the checksummed ``.ops`` envelope including
+corruption detection.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.runner import iter_segment_ops
+from repro.workloads.compiled import (
+    CODE_OF,
+    KIND_NAMES,
+    CompiledStream,
+    OpsChecksumError,
+    OpsFormatError,
+    compile_workload,
+    key_array,
+    key_rows,
+    open_ops,
+    ops_checksum,
+    save_ops,
+)
+from repro.workloads.ycsb import (
+    YCSB_WORKLOADS,
+    generate_operations,
+    iter_op_batches,
+    make_key,
+)
+
+WORKLOADS = sorted(YCSB_WORKLOADS)
+
+
+def _params():
+    return dict(record_count=120, operation_count=700, value_size=512,
+                theta=0.9, seed=11)
+
+
+# --------------------------------------------------------------------------
+# Element-for-element equivalence with the generators.
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    record_count=st.integers(min_value=5, max_value=400),
+    operation_count=st.integers(min_value=0, max_value=900),
+    seed=st.integers(min_value=0, max_value=2**31),
+    theta=st.floats(min_value=0.5, max_value=0.99),
+)
+@settings(max_examples=60, deadline=None)
+def test_compiled_equals_generate_operations(
+    workload, record_count, operation_count, seed, theta
+):
+    spec = YCSB_WORKLOADS[workload]
+    stream = compile_workload(
+        spec, record_count, operation_count, value_size=256,
+        theta=theta, seed=seed,
+    )
+    expected = list(
+        generate_operations(
+            spec, record_count, operation_count, value_size=256,
+            theta=theta, seed=seed,
+        )
+    )
+    assert list(stream.operations()) == expected
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    batch_size=st.integers(min_value=1, max_value=900),
+)
+@settings(max_examples=40, deadline=None)
+def test_compiled_batches_equal_iter_op_batches(workload, batch_size):
+    spec = YCSB_WORKLOADS[workload]
+    params = _params()
+    stream = compile_workload(spec, **params)
+    plain = list(iter_op_batches(spec, batch_size=batch_size, **params))
+    backed = list(
+        iter_op_batches(
+            spec, batch_size=batch_size, compiled=stream, **params
+        )
+    )
+    assert backed == plain
+    # Flattening reproduces the per-op stream at ANY batch size.
+    flattened = [op for batch in backed for op in batch.operations()]
+    assert flattened == list(stream.operations())
+
+
+@given(
+    epochs=st.integers(min_value=1, max_value=9),
+    rotate=st.integers(min_value=0, max_value=300),
+    workload=st.sampled_from(["YCSB-A", "YCSB-D"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_rotation_and_segments_match_iter_segment_ops(
+    epochs, rotate, workload
+):
+    params = _params()
+    stream = compile_workload(
+        YCSB_WORKLOADS[workload], epochs=epochs, hotspot_rotate_keys=rotate,
+        **params,
+    )
+    expected = list(
+        iter_segment_ops(
+            workload,
+            params["record_count"],
+            params["operation_count"],
+            params["value_size"],
+            params["theta"],
+            params["seed"],
+            epochs,
+            rotate,
+        )
+    )
+    assert list(stream.operations()) == [op for _, _, op in expected]
+    bounds = stream.segment_bounds
+    for position, segment, _ in expected:
+        assert bounds[segment] <= position < bounds[segment + 1]
+    assert int(bounds[0]) == 0
+    assert int(bounds[epochs]) == len(stream)
+
+
+def test_key_array_matches_make_key():
+    indices = np.array([0, 7, 12345, 10**12], dtype=np.int64)
+    assert key_array(indices).tolist() == [make_key(i) for i in indices]
+    assert key_array(np.empty(0, dtype=np.int64)).tolist() == []
+    rows = key_rows(indices)
+    assert rows.shape == (4, 24)
+    assert bytes(rows[1]) == make_key(7)
+    assert key_rows(np.empty(0, dtype=np.int64)).shape == (0, 24)
+
+
+def test_kind_vocabulary_is_pinned():
+    assert KIND_NAMES == ("read", "update", "insert", "rmw", "scan")
+    assert {KIND_NAMES[code] for code in CODE_OF.values()} == set(CODE_OF)
+
+
+# --------------------------------------------------------------------------
+# The .ops binary envelope.
+
+
+class TestOpsFormat:
+    def _stream(self, **overrides) -> CompiledStream:
+        params = {**_params(), **overrides}
+        return compile_workload(YCSB_WORKLOADS["YCSB-A"], **params)
+
+    def test_round_trip_preserves_everything(self, tmp_path):
+        stream = self._stream(epochs=4, hotspot_rotate_keys=13)
+        path = str(tmp_path / "a.ops")
+        written = save_ops(stream, path)
+        reopened = open_ops(path)
+        assert reopened.meta() == stream.meta()
+        assert np.array_equal(reopened.codes, stream.codes)
+        assert np.array_equal(reopened.key_indices, stream.key_indices)
+        assert np.array_equal(reopened.value_sizes, stream.value_sizes)
+        assert np.array_equal(reopened.scan_lengths, stream.scan_lengths)
+        assert np.array_equal(
+            reopened.segment_bounds, stream.segment_bounds
+        )
+        assert list(reopened.operations()) == list(stream.operations())
+        assert written == stream.checksum() == ops_checksum(path)
+        assert reopened.checksum() == stream.checksum()
+
+    def test_serialization_is_deterministic(self, tmp_path):
+        one, two = str(tmp_path / "1.ops"), str(tmp_path / "2.ops")
+        save_ops(self._stream(), one)
+        save_ops(self._stream(), two)
+        with open(one, "rb") as f1, open(two, "rb") as f2:
+            assert f1.read() == f2.read()
+
+    def test_sections_are_memmapped_read_only(self, tmp_path):
+        path = str(tmp_path / "a.ops")
+        save_ops(self._stream(), path)
+        reopened = open_ops(path)
+        assert isinstance(reopened.codes, np.memmap)
+        with pytest.raises((ValueError, RuntimeError)):
+            reopened.codes[0] = 9
+
+    @given(damage=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=20, deadline=None)
+    def test_any_flipped_byte_is_detected(self, tmp_path_factory, damage):
+        tmp_path = tmp_path_factory.mktemp("ops")
+        path = str(tmp_path / "a.ops")
+        save_ops(self._stream(operation_count=300), path)
+        size = os.path.getsize(path)
+        offset = 48 + damage % (size - 48)  # past the header: payload
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(OpsChecksumError):
+            open_ops(path)
+
+    def test_verify_false_skips_the_checksum(self, tmp_path):
+        path = str(tmp_path / "a.ops")
+        save_ops(self._stream(operation_count=300), path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)
+            byte = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        open_ops(path, verify=False)  # caller opted out; no raise
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = str(tmp_path / "a.ops")
+        save_ops(self._stream(operation_count=300), path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        with pytest.raises(OpsFormatError):
+            open_ops(path)
+
+    def test_not_an_ops_file_rejected(self, tmp_path):
+        path = str(tmp_path / "a.ops")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not an ops file")
+        with pytest.raises(OpsFormatError):
+            open_ops(path)
+        with pytest.raises(OpsFormatError):
+            ops_checksum(path)
+
+
+# --------------------------------------------------------------------------
+# The require() guard: a stream can never silently stand in for the
+# wrong workload.
+
+
+class TestRequire:
+    def test_matching_parameters_pass(self):
+        params = _params()
+        stream = compile_workload(YCSB_WORKLOADS["YCSB-A"], **params)
+        stream.require(
+            YCSB_WORKLOADS["YCSB-A"],
+            params["record_count"],
+            params["operation_count"],
+            params["value_size"],
+            params["theta"],
+            params["seed"],
+        )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("record_count", 121),
+            ("operation_count", 699),
+            ("value_size", 513),
+            ("theta", 0.91),
+            ("seed", 12),
+        ],
+    )
+    def test_any_drifted_parameter_raises(self, field, value):
+        params = _params()
+        stream = compile_workload(YCSB_WORKLOADS["YCSB-A"], **params)
+        drifted = {**params, field: value}
+        with pytest.raises(ValueError, match="compiled stream does not match"):
+            stream.require(
+                YCSB_WORKLOADS["YCSB-A"],
+                drifted["record_count"],
+                drifted["operation_count"],
+                drifted["value_size"],
+                drifted["theta"],
+                drifted["seed"],
+            )
+
+    def test_wrong_workload_raises(self):
+        params = _params()
+        stream = compile_workload(YCSB_WORKLOADS["YCSB-A"], **params)
+        with pytest.raises(ValueError, match="compiled stream does not match"):
+            stream.require(
+                YCSB_WORKLOADS["YCSB-B"],
+                params["record_count"],
+                params["operation_count"],
+                params["value_size"],
+                params["theta"],
+                params["seed"],
+            )
+
+    def test_epoch_consumers_must_match_epochs(self):
+        params = _params()
+        stream = compile_workload(
+            YCSB_WORKLOADS["YCSB-A"], epochs=4, **params
+        )
+        with pytest.raises(ValueError, match="compiled stream does not match"):
+            stream.require(
+                YCSB_WORKLOADS["YCSB-A"],
+                params["record_count"],
+                params["operation_count"],
+                params["value_size"],
+                params["theta"],
+                params["seed"],
+                epochs=5,
+            )
